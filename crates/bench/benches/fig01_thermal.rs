@@ -1,0 +1,29 @@
+//! Figure 1: thermal trace with fan enabled/disabled and emergency
+//! throttling, driven by a measured `_222_mpegaudio` power profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, Runner};
+
+fn bench(c: &mut Criterion) {
+    // Print the artifact once.
+    let mut runner = Runner::new();
+    let fig = figures::fig1(&mut runner).expect("fig1 regenerates");
+    println!("{fig}");
+    assert!(
+        fig.throttle_onset_s.is_some(),
+        "fan-off run must trip the throttle"
+    );
+
+    // Benchmark the thermal regeneration (the underlying run is cached, so
+    // this measures the 2x600s thermal integration).
+    c.bench_function("fig01_thermal_regeneration", |b| {
+        b.iter(|| figures::fig1(&mut runner).expect("fig1"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6: per-component energy decomposition (Jikes RVM + SemiSpace).
+//!
+//! Prints the decomposition for a representative benchmark/heap subset and
+//! benchmarks the cost of one decomposition run (the paper's
+//! `_213_javac @ 32 MB`, its headline 60%-JVM-energy configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+use vmprobe_heap::CollectorKind;
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig = figures::fig6(&mut runner, &QUICK_HEAPS).expect("fig6 regenerates");
+    let subset: Vec<_> = fig
+        .rows
+        .iter()
+        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
+        .cloned()
+        .collect();
+    println!("{}", figures::Fig6 { rows: subset });
+
+    c.bench_function("fig06_one_decomposition_run(javac,ss,32MB)", |b| {
+        b.iter(|| {
+            ExperimentConfig::jikes("_213_javac", CollectorKind::SemiSpace, 32)
+                .run()
+                .expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 7: energy-delay product vs heap size for the four Jikes RVM
+//! collectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+use vmprobe_heap::CollectorKind;
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig =
+        figures::fig7(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS).expect("fig7 regenerates");
+    println!("{fig}");
+
+    // Sanity: generational wins at the smallest heap for the GC-heavy
+    // benchmark (the paper's central EDP claim).
+    let ss = fig
+        .curve("_213_javac", CollectorKind::SemiSpace)
+        .unwrap()
+        .at(32)
+        .unwrap();
+    let genms = fig
+        .curve("_213_javac", CollectorKind::GenMs)
+        .unwrap()
+        .at(32)
+        .unwrap();
+    assert!(genms < ss, "GenMS must beat SemiSpace for javac at 32MB");
+
+    c.bench_function("fig07_one_edp_point(javac,genms,32MB)", |b| {
+        b.iter(|| {
+            ExperimentConfig::jikes("_213_javac", CollectorKind::GenMs, 32)
+                .run()
+                .expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

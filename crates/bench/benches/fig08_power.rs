@@ -1,0 +1,58 @@
+//! Figure 8: average and peak power per component under GenCopy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::ComponentId;
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig = figures::fig8(&mut runner, &QUICK_HEAPS).expect("fig8 regenerates");
+    let subset: Vec<_> = fig
+        .rows
+        .iter()
+        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
+        .cloned()
+        .collect();
+    println!(
+        "{}",
+        figures::Fig8 {
+            rows: subset.clone()
+        }
+    );
+
+    // Sanity: for GC-active benchmarks the collector is less power-hungry
+    // than the application (paper Section VI-C).
+    for row in &subset {
+        let app = row
+            .components
+            .iter()
+            .find(|(c, ..)| *c == ComponentId::Application);
+        let gc = row.components.iter().find(|(c, ..)| *c == ComponentId::Gc);
+        if let (Some(&(_, app_avg, _)), Some(&(_, gc_avg, _))) = (app, gc) {
+            if gc_avg > 0.0 {
+                assert!(
+                    gc_avg < app_avg,
+                    "{}: GC ({gc_avg:.1} W) should average below App ({app_avg:.1} W)",
+                    row.benchmark
+                );
+            }
+        }
+    }
+
+    c.bench_function("fig08_one_power_run(db,gencopy,64MB)", |b| {
+        b.iter(|| {
+            ExperimentConfig::jikes("_209_db", CollectorKind::GenCopy, 64)
+                .run()
+                .expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

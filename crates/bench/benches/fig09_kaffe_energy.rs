@@ -1,0 +1,43 @@
+//! Figure 9: Kaffe energy distribution on the Pentium M.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig = figures::fig9(&mut runner, &QUICK_HEAPS).expect("fig9 regenerates");
+    let subset: Vec<_> = fig
+        .rows
+        .iter()
+        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
+        .cloned()
+        .collect();
+    // Sanity: Kaffe's VM components are far less visible than Jikes's
+    // (paper Section VI-D: GC ~7%, CL ~1%, JIT <1%).
+    for row in &subset {
+        let monitored: f64 = row.fractions.iter().map(|(_, v)| v).sum();
+        assert!(
+            monitored < 0.5,
+            "{}@{}: Kaffe VM components should not dominate ({monitored:.2})",
+            row.benchmark,
+            row.heap_mb
+        );
+    }
+    println!("{}", figures::Fig9 { rows: subset });
+
+    c.bench_function("fig09_one_kaffe_run(javac,64MB)", |b| {
+        b.iter(|| {
+            ExperimentConfig::kaffe("_213_javac", 64)
+                .run()
+                .expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 10: Kaffe energy-delay product vs heap on the Pentium M.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig = figures::fig10(&mut runner, &QUICK_HEAPS).expect("fig10 regenerates");
+    let subset: Vec<_> = fig
+        .curves
+        .iter()
+        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
+        .cloned()
+        .collect();
+    // Sanity: the paper finds Kaffe's EDP nearly flat across heap sizes
+    // ("EDP changes little when increasing the heap size", Section VI-D).
+    for curve in &subset {
+        let edps: Vec<f64> = curve.points.iter().map(|(_, e)| *e).collect();
+        let (min, max) = edps
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(
+            max / min < 2.0,
+            "{}: Kaffe EDP should be comparatively flat across heaps ({min:.4}..{max:.4})",
+            curve.benchmark
+        );
+    }
+    println!("{}", figures::Fig10 { curves: subset });
+
+    c.bench_function("fig10_one_kaffe_edp_point(db,64MB)", |b| {
+        b.iter(|| ExperimentConfig::kaffe("_209_db", 64).run().expect("runs"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 11: Kaffe energy decomposition on the Intel PXA255 (s10 inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, ExperimentConfig, Runner};
+use vmprobe_bench::QUICK_PXA_HEAPS;
+use vmprobe_power::ComponentId;
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+    let fig = figures::fig11(&mut runner, &QUICK_PXA_HEAPS).expect("fig11 regenerates");
+    println!("{fig}");
+
+    // Sanity: on the embedded platform the class loader becomes a major
+    // energy consumer (paper Section VI-E: 18% average).
+    let cl_avg: f64 = fig
+        .rows
+        .iter()
+        .map(|r| {
+            r.fractions
+                .iter()
+                .find(|(c, _)| *c == ComponentId::ClassLoader)
+                .map_or(0.0, |(_, v)| *v)
+        })
+        .sum::<f64>()
+        / fig.rows.len() as f64;
+    assert!(
+        cl_avg > 0.05,
+        "class loader should be a major consumer on the PXA255, got {cl_avg:.3}"
+    );
+
+    c.bench_function("fig11_one_pxa_run(javac,16MB,s10)", |b| {
+        b.iter(|| {
+            ExperimentConfig::kaffe_pxa("_213_javac", 16)
+                .run()
+                .expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate micro-benchmarks: how fast the simulator itself is.
+//!
+//! Not a paper artifact — these guard the performance of the pieces the
+//! figure sweeps depend on (cache simulation, interpreter, collectors).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmprobe_heap::{AllocRequest, CollectorKind, ObjectHeap, RootSet};
+use vmprobe_platform::{Cache, CacheConfig, Machine, PlatformKind};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            name: "L1D",
+            size_bytes: 32 << 10,
+            ways: 8,
+            line_bytes: 64,
+        });
+        cache.access(0x1000);
+        b.iter(|| black_box(cache.access(black_box(0x1000))));
+    });
+
+    c.bench_function("machine_load_l2_resident", |b| {
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 64) % (256 << 10);
+            m.load(0x1000_0000 + i);
+            black_box(m.cycles())
+        });
+    });
+
+    c.bench_function("semispace_collect_10k_objects", |b| {
+        b.iter(|| {
+            let mut heap = ObjectHeap::new();
+            let mut plan = CollectorKind::SemiSpace.new_plan(8 << 20);
+            let mut m = Machine::new(PlatformKind::PentiumM);
+            let mut roots = Vec::new();
+            for i in 0..10_000 {
+                let id = plan
+                    .alloc(&mut heap, AllocRequest::instance(0, 2, 2), &mut m)
+                    .expect("fits");
+                if i % 4 == 0 {
+                    roots.push(id);
+                }
+            }
+            let stats = plan.collect(&mut heap, &RootSet::from_refs(roots), &mut m);
+            black_box(stats.live_objects)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! In-text tables T1–T5: collector power, per-component IPC / L2 miss
+//! rates, memory energy share, headline claims, and Kaffe summaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{figures, Runner};
+use vmprobe_bench::{QUICK_HEAPS, QUICK_PXA_HEAPS};
+use vmprobe_heap::CollectorKind;
+
+fn bench(c: &mut Criterion) {
+    let mut runner = Runner::new();
+
+    let t1 = figures::t1_collector_power(&mut runner, &QUICK_HEAPS).expect("t1");
+    println!("{t1}");
+    // Sanity: non-generational collectors draw less average GC power
+    // (paper: MarkSweep 11.7 W is the coolest of the four).
+    let power = |k: CollectorKind| t1.rows.iter().find(|(c, _)| *c == k).unwrap().1;
+    assert!(
+        power(CollectorKind::MarkSweep) <= power(CollectorKind::GenMs),
+        "MarkSweep should draw no more GC power than GenMS"
+    );
+
+    let t2 = figures::t2_l2_ipc(&mut runner, &QUICK_HEAPS).expect("t2");
+    println!("{t2}");
+
+    let t3 = figures::t3_memory_energy(&mut runner, &QUICK_HEAPS).expect("t3");
+    println!("{t3}");
+    for (suite, frac) in &t3.rows {
+        assert!(
+            (0.01..0.20).contains(frac),
+            "{suite}: memory energy share {frac:.3} outside plausible band"
+        );
+    }
+
+    let t5 = figures::t5_kaffe(&mut runner, &QUICK_HEAPS, &QUICK_PXA_HEAPS).expect("t5");
+    println!("{t5}");
+    // Sanity: the class loader matters far more on the PXA255 than on P6.
+    assert!(t5.pxa_fractions.1 > 3.0 * t5.p6_fractions.1);
+
+    c.bench_function("t4_headlines_regeneration", |b| {
+        // After the first call every underlying run is cached; this
+        // benchmarks the aggregation pipeline.
+        b.iter(|| figures::t4_headlines(&mut runner).expect("t4"));
+    });
+    let t4 = figures::t4_headlines(&mut runner).expect("t4");
+    println!("{t4}");
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

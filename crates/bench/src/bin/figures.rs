@@ -1,0 +1,72 @@
+//! Regenerate every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! figures [artifact...]
+//!   artifacts: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 t1 t2 t3 t4 t5 | all
+//! ```
+//!
+//! With no arguments, regenerates everything (several hundred simulated
+//! runs; a few minutes in release mode). Underlying runs are cached and
+//! shared between artifacts.
+
+use std::process::ExitCode;
+
+use vmprobe::{figures, Runner, P6_HEAPS_MB, PXA_HEAPS_MB};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        args = [
+            "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "t1", "t2", "t3",
+            "t4", "t5",
+        ]
+        .map(String::from)
+        .to_vec();
+    }
+
+    let mut runner = Runner::new().verbose(std::env::var_os("VMPROBE_VERBOSE").is_some());
+    let all_names: Vec<&'static str> = vmprobe_workloads::all_benchmarks()
+        .iter()
+        .map(|b| b.name)
+        .collect();
+
+    for a in &args {
+        let wall = std::time::Instant::now();
+        let result: Result<String, vmprobe::ExperimentError> = match a.as_str() {
+            "fig1" => figures::fig1(&mut runner).map(|f| f.to_string()),
+            "fig5" => Ok(figures::fig5().to_string()),
+            "fig6" => figures::fig6(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig7" => figures::fig7(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig8" => figures::fig8(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig9" => figures::fig9(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig10" => figures::fig10(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig11" => figures::fig11(&mut runner, &PXA_HEAPS_MB).map(|f| f.to_string()),
+            "t1" => figures::t1_collector_power(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "t2" => figures::t2_l2_ipc(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "t3" => figures::t3_memory_energy(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "t4" => figures::t4_headlines(&mut runner).map(|f| f.to_string()),
+            "t5" => {
+                figures::t5_kaffe(&mut runner, &P6_HEAPS_MB, &PXA_HEAPS_MB).map(|f| f.to_string())
+            }
+            other => {
+                eprintln!("unknown artifact '{other}'");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(text) => {
+                println!("{text}");
+                println!(
+                    "[{a} regenerated in {:.1?}; {} cumulative runs]\n",
+                    wall.elapsed(),
+                    runner.runs_executed()
+                );
+            }
+            Err(e) => {
+                eprintln!("{a} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

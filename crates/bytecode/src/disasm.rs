@@ -1,0 +1,167 @@
+//! Human-readable disassembly of method bodies, for debugging workloads and
+//! inspecting what the runtime executes.
+
+use std::fmt::Write as _;
+
+use crate::{MethodId, Op, Program};
+
+/// Render `method` as a listing with one instruction per line.
+///
+/// Branch targets are shown as absolute instruction indices; `Call`, `New`
+/// and static accesses are resolved to names where the program knows them.
+///
+/// # Example
+///
+/// ```
+/// use vmprobe_bytecode::{disassemble, ProgramBuilder};
+///
+/// # fn main() -> Result<(), vmprobe_bytecode::VerifyError> {
+/// let mut p = ProgramBuilder::new();
+/// let m = p.function("answer", 0, 0, |b| {
+///     b.const_i(42).ret_value();
+/// });
+/// let prog = p.finish(m)?;
+/// let listing = disassemble(&prog, m);
+/// assert!(listing.contains("const_i 42"));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `id` was not minted for `program`.
+pub fn disassemble(program: &Program, id: MethodId) -> String {
+    let method = program.method(id);
+    let cls = program.class(method.class());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {}::{} (args={}, locals={}, {}):",
+        cls.name(),
+        method.name(),
+        method.n_args(),
+        method.n_locals(),
+        if method.returns_value() {
+            "returns value"
+        } else {
+            "void"
+        }
+    );
+    for (pc, op) in method.code().iter().enumerate() {
+        let _ = write!(out, "  {pc:4}: ");
+        let line = match op {
+            Op::ConstI(v) => format!("const_i {v}"),
+            Op::ConstF(v) => format!("const_f {v}"),
+            Op::ConstNull => "const_null".into(),
+            Op::Dup => "dup".into(),
+            Op::Pop => "pop".into(),
+            Op::Swap => "swap".into(),
+            Op::Load(n) => format!("load {n}"),
+            Op::Store(n) => format!("store {n}"),
+            Op::Add => "iadd".into(),
+            Op::Sub => "isub".into(),
+            Op::Mul => "imul".into(),
+            Op::Div => "idiv".into(),
+            Op::Rem => "irem".into(),
+            Op::Neg => "ineg".into(),
+            Op::Shl => "ishl".into(),
+            Op::Shr => "ishr".into(),
+            Op::And => "iand".into(),
+            Op::Or => "ior".into(),
+            Op::Xor => "ixor".into(),
+            Op::FAdd => "fadd".into(),
+            Op::FSub => "fsub".into(),
+            Op::FMul => "fmul".into(),
+            Op::FDiv => "fdiv".into(),
+            Op::FNeg => "fneg".into(),
+            Op::Math(m) => format!("math {m:?}").to_lowercase(),
+            Op::I2F => "i2f".into(),
+            Op::F2I => "f2i".into(),
+            Op::Lt => "lt".into(),
+            Op::Le => "le".into(),
+            Op::Gt => "gt".into(),
+            Op::Ge => "ge".into(),
+            Op::Eq => "eq".into(),
+            Op::Ne => "ne".into(),
+            Op::IsNull => "is_null".into(),
+            Op::Jump(t) => format!("jump -> {t}"),
+            Op::BrTrue(t) => format!("br_true -> {t}"),
+            Op::BrFalse(t) => format!("br_false -> {t}"),
+            Op::Call(m) => {
+                let callee = program.method(*m);
+                format!(
+                    "call {}::{} ({} args)",
+                    program.class(callee.class()).name(),
+                    callee.name(),
+                    callee.n_args()
+                )
+            }
+            Op::Ret => "ret".into(),
+            Op::RetV => "ret_value".into(),
+            Op::New(c) => format!("new {}", program.class(*c).name()),
+            Op::GetField(n) => format!("get_field {n}"),
+            Op::PutField(n) => format!("put_field {n}"),
+            Op::GetStatic(s) => {
+                format!(
+                    "get_static {} ({})",
+                    s,
+                    program.statics()[*s as usize].name()
+                )
+            }
+            Op::PutStatic(s) => {
+                format!(
+                    "put_static {} ({})",
+                    s,
+                    program.statics()[*s as usize].name()
+                )
+            }
+            Op::NewArr(k) => format!("new_arr {k:?}").to_lowercase(),
+            Op::ALoad => "aload".into(),
+            Op::AStore => "astore".into(),
+            Op::ArrLen => "arr_len".into(),
+            Op::Nop => "nop".into(),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Ty};
+
+    #[test]
+    fn listing_resolves_names() {
+        let mut p = ProgramBuilder::new();
+        let cls = p.class("List").field("head", Ty::Ref).build();
+        let s = p.static_slot("the_list", Ty::Ref);
+        let helper = p.method(cls, "make", 0, 0, |b| {
+            b.new_obj(cls).ret_value();
+        });
+        let main = p.method(cls, "main", 0, 0, |b| {
+            b.call(helper).put_static(s).ret();
+        });
+        let prog = p.finish(main).unwrap();
+        let listing = disassemble(&prog, main);
+        assert!(listing.contains("call List::make"));
+        assert!(listing.contains("put_static 0 (the_list)"));
+        let helper_listing = disassemble(&prog, helper);
+        assert!(helper_listing.contains("new List"));
+    }
+
+    #[test]
+    fn listing_covers_every_pc() {
+        let mut p = ProgramBuilder::new();
+        let m = p.function("loop", 0, 1, |b| {
+            b.for_range(0, 0, 3, |b| {
+                b.nop();
+            });
+            b.ret();
+        });
+        let prog = p.finish(m).unwrap();
+        let listing = disassemble(&prog, m);
+        let lines = listing.lines().count();
+        assert_eq!(lines, prog.method(m).code().len() + 1);
+    }
+}

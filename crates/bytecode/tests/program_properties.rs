@@ -1,0 +1,113 @@
+//! Property tests: programs assembled through the builder DSL always
+//! verify, disassemble completely, and report consistent metadata.
+
+use proptest::prelude::*;
+use vmprobe_bytecode::{disassemble, ArrKind, MathFn, ProgramBuilder, Ty};
+
+/// A structured random method body: a straight-line prefix, a counted
+/// loop, and an arithmetic reduction — everything the builder's structured
+/// helpers guarantee to balance.
+#[derive(Debug, Clone)]
+struct BodyPlan {
+    consts: Vec<i64>,
+    loop_iters: i64,
+    use_floats: bool,
+    use_arrays: bool,
+    math: Option<MathFn>,
+}
+
+fn arb_body() -> impl Strategy<Value = BodyPlan> {
+    (
+        prop::collection::vec(any::<i64>(), 1..8),
+        0i64..50,
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of(prop_oneof![
+            Just(MathFn::Sqrt),
+            Just(MathFn::Sin),
+            Just(MathFn::Cos),
+            Just(MathFn::Log),
+            Just(MathFn::Exp),
+        ]),
+    )
+        .prop_map(
+            |(consts, loop_iters, use_floats, use_arrays, math)| BodyPlan {
+                consts,
+                loop_iters,
+                use_floats,
+                use_arrays,
+                math,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn builder_programs_always_verify(plans in prop::collection::vec(arb_body(), 1..6)) {
+        let mut p = ProgramBuilder::new();
+        let cls = p.class("Prop").field("x", Ty::Int).field("r", Ty::Ref).build();
+        let mut methods = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let plan = plan.clone();
+            methods.push(p.method(cls, format!("m{i}"), 0, 4, move |b| {
+                b.const_i(0).store(0);
+                for &c in &plan.consts {
+                    b.const_i(c).load(0).add().store(0);
+                }
+                b.for_range(1, 0, plan.loop_iters, |b| {
+                    b.load(0).const_i(3).mul().store(0);
+                });
+                if plan.use_floats {
+                    b.load(0).i2f().store(2);
+                    b.load(2).const_f(1.5).fmul().store(2);
+                    if let Some(m) = plan.math {
+                        b.load(2).math(m).store(2);
+                    }
+                    b.load(2).f2i().load(0).add().store(0);
+                }
+                if plan.use_arrays {
+                    b.const_i(4).new_arr(ArrKind::Int).store(3);
+                    b.load(3).const_i(1).load(0).astore();
+                    b.load(3).const_i(1).aload().store(0);
+                }
+                b.load(0).ret_value();
+            }));
+        }
+        // A main that calls every generated method.
+        let calls = methods.clone();
+        let main = p.method(cls, "main", 0, 1, move |b| {
+            b.const_i(0).store(0);
+            for &m in &calls {
+                b.call(m).load(0).add().store(0);
+            }
+            b.load(0).ret_value();
+        });
+        let program = p.finish(main);
+        prop_assert!(program.is_ok(), "builder output failed verification: {:?}", program.err());
+
+        // Disassembly is total: one line per instruction plus a header.
+        let program = program.unwrap();
+        for m in program.methods() {
+            let listing = disassemble(&program, m.id());
+            prop_assert_eq!(listing.lines().count(), m.code().len() + 1);
+        }
+    }
+
+    #[test]
+    fn bytecode_bytes_are_positive_and_additive(n_methods in 1usize..10) {
+        let mut p = ProgramBuilder::new();
+        let mut last = None;
+        for i in 0..n_methods {
+            last = Some(p.function(format!("f{i}"), 0, 1, |b| {
+                b.const_i(7).store(0);
+                b.load(0).ret_value();
+            }));
+        }
+        let program = p.finish(last.unwrap()).unwrap();
+        let total: u64 = program.methods().iter().map(|m| u64::from(m.bytecode_bytes())).sum();
+        prop_assert!(total > 0);
+        // Class-file size includes every method's bytes.
+        let kernel = program.classes().iter().find(|c| c.name() == "Kernel").unwrap();
+        prop_assert!(u64::from(program.classfile_bytes(kernel.id())) > total);
+    }
+}

@@ -1,0 +1,135 @@
+//! Command-line runner for a single characterization experiment.
+//!
+//! ```text
+//! vmprobe-run <benchmark> [collector] [heap_mb] [platform] [scale]
+//!   collector: semispace | marksweep | gencopy | genms | kaffe  (default gencopy)
+//!   heap_mb:   paper heap label in MB                           (default 64)
+//!   platform:  p6 | pxa255                                      (default p6)
+//!   scale:     full | s10                                       (default full)
+//! ```
+
+use std::process::ExitCode;
+
+use vmprobe::{ExperimentConfig, VmChoice};
+use vmprobe_heap::CollectorKind;
+use vmprobe_platform::PlatformKind;
+use vmprobe_power::ComponentId;
+use vmprobe_workloads::InputScale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vmprobe-run <benchmark> [semispace|marksweep|gencopy|genms|kaffe] \
+         [heap_mb] [p6|pxa255] [full|s10]"
+    );
+    eprintln!("benchmarks:");
+    for b in vmprobe_workloads::all_benchmarks() {
+        eprintln!("  {:16} ({})", b.name, b.suite);
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(bench) = args.first() else {
+        return usage();
+    };
+
+    let vm = match args.get(1).map(String::as_str) {
+        None | Some("gencopy") => VmChoice::Jikes(CollectorKind::GenCopy),
+        Some("semispace") => VmChoice::Jikes(CollectorKind::SemiSpace),
+        Some("marksweep") => VmChoice::Jikes(CollectorKind::MarkSweep),
+        Some("genms") => VmChoice::Jikes(CollectorKind::GenMs),
+        Some("kaffe") => VmChoice::Kaffe,
+        Some(_) => return usage(),
+    };
+    let heap_mb: u32 = match args.get(2).map(|s| s.parse()) {
+        None => 64,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return usage(),
+    };
+    let platform = match args.get(3).map(String::as_str) {
+        None | Some("p6") => PlatformKind::PentiumM,
+        Some("pxa255") => PlatformKind::Pxa255,
+        Some(_) => return usage(),
+    };
+    let scale = match args.get(4).map(String::as_str) {
+        None | Some("full") => InputScale::Full,
+        Some("s10") => InputScale::Reduced,
+        Some(_) => return usage(),
+    };
+
+    let cfg = ExperimentConfig {
+        benchmark: bench.clone(),
+        vm,
+        heap_mb,
+        platform,
+        scale,
+        trace_power: false,
+    };
+    let wall = std::time::Instant::now();
+    let run = match cfg.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = wall.elapsed();
+
+    println!("experiment : {cfg}");
+    println!(
+        "simulated  : {:.3} s ({} bytecodes, {} calls, {} allocs, wall {:.2?})",
+        run.duration_s(),
+        run.vm.bytecodes,
+        run.vm.calls,
+        run.vm.allocations,
+        wall
+    );
+    println!(
+        "energy     : cpu {:.3} J + mem {:.3} J = {:.3} J; EDP {:.4} J*s; mem share {:.1}%",
+        run.report.cpu_energy.joules(),
+        run.report.mem_energy.joules(),
+        run.report.total_energy.joules(),
+        run.edp(),
+        100.0 * run.report.mem_energy_fraction()
+    );
+    println!(
+        "gc         : {} collections ({} minor / {} major / {} incr), copied {} KiB, barriers {}",
+        run.gc.collections,
+        run.gc.minor_collections,
+        run.gc.major_collections,
+        run.gc.increments,
+        run.gc.total_copied_bytes >> 10,
+        run.gc.barrier_stores,
+    );
+    println!(
+        "compile    : {} base, {} jit, {} opt; classes loaded {}",
+        run.compiler.baseline_compiles,
+        run.compiler.jit_compiles,
+        run.compiler.opt_compiles,
+        run.vm.classes_loaded
+    );
+    println!("components :");
+    for c in ComponentId::ALL {
+        if let Some(p) = run.report.component(c) {
+            if p.samples == 0 && p.instructions == 0 {
+                continue;
+            }
+            println!(
+                "  {:9} {:6.2}% energy | {:8.3} ms | avg {:6.2} W peak {:6.2} W | ipc {:4.2} | L2miss {:5.1}%",
+                c.label(),
+                100.0 * run.fraction(c),
+                1e3 * p.time.seconds(),
+                p.avg_power.watts(),
+                p.peak_power.watts(),
+                p.ipc,
+                100.0 * p.l2_miss_rate,
+            );
+        }
+    }
+    println!(
+        "jvm energy : {:.1}%",
+        100.0 * run.report.jvm_energy_fraction()
+    );
+    ExitCode::SUCCESS
+}

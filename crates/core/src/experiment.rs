@@ -1,0 +1,253 @@
+//! Experiment configuration and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vmprobe_heap::{CollectorKind, GcStats};
+use vmprobe_platform::PlatformKind;
+use vmprobe_power::{ComponentId, PowerSample, Report};
+use vmprobe_vm::{CompilerStats, Vm, VmConfig, VmError, VmStats};
+use vmprobe_workloads::{benchmark, InputScale};
+
+use crate::scale::heap_bytes;
+
+/// Which virtual machine an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmChoice {
+    /// Jikes RVM with the given MMTk collector.
+    Jikes(CollectorKind),
+    /// Kaffe (JIT + incremental conservative mark-sweep).
+    Kaffe,
+}
+
+impl fmt::Display for VmChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmChoice::Jikes(c) => write!(f, "Jikes/{c}"),
+            VmChoice::Kaffe => write!(f, "Kaffe"),
+        }
+    }
+}
+
+/// One point in the paper's experimental space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Benchmark name (see [`vmprobe_workloads::all_benchmarks`]).
+    pub benchmark: String,
+    /// VM and collector.
+    pub vm: VmChoice,
+    /// Heap size as a paper label in MB (scaled internally).
+    pub heap_mb: u32,
+    /// Hardware platform.
+    pub platform: PlatformKind,
+    /// Input data-set scale.
+    pub scale: InputScale,
+    /// Record the full power trace (needed for the thermal figure).
+    pub trace_power: bool,
+}
+
+impl ExperimentConfig {
+    /// A Jikes experiment on the P6 board with the full data set.
+    pub fn jikes(benchmark: &str, collector: CollectorKind, heap_mb: u32) -> Self {
+        Self {
+            benchmark: benchmark.to_owned(),
+            vm: VmChoice::Jikes(collector),
+            heap_mb,
+            platform: PlatformKind::PentiumM,
+            scale: InputScale::Full,
+            trace_power: false,
+        }
+    }
+
+    /// A Kaffe experiment on the P6 board with the full data set.
+    pub fn kaffe(benchmark: &str, heap_mb: u32) -> Self {
+        Self {
+            benchmark: benchmark.to_owned(),
+            vm: VmChoice::Kaffe,
+            heap_mb,
+            platform: PlatformKind::PentiumM,
+            scale: InputScale::Full,
+            trace_power: false,
+        }
+    }
+
+    /// A Kaffe experiment on the DBPXA255 board with the reduced (`-s10`)
+    /// data set, as in the paper's Section VI-E.
+    pub fn kaffe_pxa(benchmark: &str, heap_mb: u32) -> Self {
+        Self {
+            benchmark: benchmark.to_owned(),
+            vm: VmChoice::Kaffe,
+            heap_mb,
+            platform: PlatformKind::Pxa255,
+            scale: InputScale::Reduced,
+            trace_power: false,
+        }
+    }
+
+    /// Enable power-trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.trace_power = true;
+        self
+    }
+
+    /// Unique cache key.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{:?}|{:?}|{}",
+            self.benchmark, self.vm, self.heap_mb, self.platform, self.scale, self.trace_power
+        )
+    }
+
+    fn vm_config(&self) -> VmConfig {
+        let heap = heap_bytes(self.heap_mb);
+        let base = match self.vm {
+            VmChoice::Jikes(c) => VmConfig::jikes(c, heap),
+            VmChoice::Kaffe => VmConfig::kaffe(heap),
+        };
+        base.platform(self.platform).trace_power(self.trace_power)
+    }
+
+    /// Execute the experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::UnknownBenchmark`] for names not in the registry;
+    /// [`ExperimentError::Vm`] when the run faults (most commonly
+    /// out-of-memory when the heap label is too small for the workload).
+    pub fn run(&self) -> Result<RunSummary, ExperimentError> {
+        let bench = benchmark(&self.benchmark)
+            .ok_or_else(|| ExperimentError::UnknownBenchmark(self.benchmark.clone()))?;
+        let program = bench.build(self.scale);
+        let vm = Vm::new(program, self.vm_config());
+        let out = vm.run().map_err(|e| ExperimentError::Vm {
+            config: Box::new(self.clone()),
+            source: e,
+        })?;
+        Ok(RunSummary {
+            config: self.clone(),
+            result_checksum: out.result.map(|v| v.as_i()),
+            report: out.report,
+            gc: out.gc,
+            vm: out.vm,
+            compiler: out.compiler,
+            power_trace: out.power_trace,
+            total_alloc_bytes: out.total_alloc_bytes,
+            live_bytes_end: out.live_bytes_end,
+        })
+    }
+}
+
+impl fmt::Display for ExperimentConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} @ {} MB ({:?}, {:?})",
+            self.benchmark, self.vm, self.heap_mb, self.platform, self.scale
+        )
+    }
+}
+
+/// Why an experiment failed.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The benchmark name is not registered.
+    UnknownBenchmark(String),
+    /// The VM faulted.
+    Vm {
+        /// The failing configuration.
+        config: Box<ExperimentConfig>,
+        /// The underlying fault.
+        source: VmError,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownBenchmark(n) => write!(f, "unknown benchmark '{n}'"),
+            ExperimentError::Vm { config, source } => {
+                write!(f, "experiment {config} failed: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Vm { source, .. } => Some(source),
+            ExperimentError::UnknownBenchmark(_) => None,
+        }
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// The configuration that ran.
+    pub config: ExperimentConfig,
+    /// Integer checksum returned by the benchmark's entry method (GC and
+    /// platform transparency: identical across all configurations of the
+    /// same benchmark and input scale).
+    pub result_checksum: Option<i64>,
+    /// Per-component measurement report.
+    pub report: Report,
+    /// Collector statistics.
+    pub gc: GcStats,
+    /// Runtime statistics.
+    pub vm: VmStats,
+    /// Compilation statistics.
+    pub compiler: CompilerStats,
+    /// Power trace if requested.
+    pub power_trace: Option<Vec<PowerSample>>,
+    /// Total allocation volume in simulated bytes.
+    pub total_alloc_bytes: u64,
+    /// Live bytes at exit.
+    pub live_bytes_end: u64,
+}
+
+impl RunSummary {
+    /// CPU-energy fraction for a component (0 when it never ran).
+    pub fn fraction(&self, c: ComponentId) -> f64 {
+        self.report.energy_fraction(c)
+    }
+
+    /// The paper's energy-delay product in J·s (total energy × runtime).
+    pub fn edp(&self) -> f64 {
+        self.report.edp.joule_seconds()
+    }
+
+    /// Run duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.report.duration.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let cfg = ExperimentConfig::jikes("_999_nope", CollectorKind::SemiSpace, 32);
+        assert!(matches!(
+            cfg.run(),
+            Err(ExperimentError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn config_keys_distinguish_every_axis() {
+        let a = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        let b = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 48);
+        let c = ExperimentConfig::jikes("_209_db", CollectorKind::GenCopy, 32);
+        let d = ExperimentConfig::kaffe("_209_db", 32);
+        let e = ExperimentConfig::kaffe_pxa("_209_db", 32);
+        let keys = [a.key(), b.key(), c.key(), d.key(), e.key()];
+        let mut uniq = keys.to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len());
+    }
+}

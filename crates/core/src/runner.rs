@@ -1,0 +1,73 @@
+//! Cached experiment execution.
+//!
+//! Several of the paper's figures draw on the same underlying runs (the
+//! SemiSpace sweep feeds both the Figure 6 decomposition and the Figure 7
+//! EDP curves); the [`Runner`] memoizes each configuration so every figure
+//! regeneration pays for a run exactly once per process. Runs are fully
+//! deterministic, so caching is sound.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{ExperimentConfig, ExperimentError, RunSummary};
+
+/// Memoizing experiment runner.
+#[derive(Debug, Default)]
+pub struct Runner {
+    cache: HashMap<String, Arc<RunSummary>>,
+    verbose: bool,
+}
+
+impl Runner {
+    /// A fresh runner with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Log each executed configuration to stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// Run `config` (or return the cached result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExperimentError`]; failures are not cached.
+    pub fn run(&mut self, config: &ExperimentConfig) -> Result<Arc<RunSummary>, ExperimentError> {
+        let key = config.key();
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        if self.verbose {
+            eprintln!("[vmprobe] running {config}");
+        }
+        let summary = Arc::new(config.run()?);
+        self.cache.insert(key, Arc::clone(&summary));
+        Ok(summary)
+    }
+
+    /// Number of distinct runs executed so far.
+    pub fn runs_executed(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprobe_heap::CollectorKind;
+    use vmprobe_workloads::InputScale;
+
+    #[test]
+    fn cache_hits_do_not_rerun() {
+        let mut r = Runner::new();
+        let mut cfg = ExperimentConfig::jikes("moldyn", CollectorKind::SemiSpace, 32);
+        cfg.scale = InputScale::Reduced;
+        let a = r.run(&cfg).expect("runs");
+        let b = r.run(&cfg).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.runs_executed(), 1);
+    }
+}

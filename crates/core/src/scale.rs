@@ -1,0 +1,43 @@
+//! Heap-size scaling between paper labels and simulated bytes.
+//!
+//! The paper sweeps fixed heaps of 32–128 MB on the P6 and 12–32 MB on the
+//! DBPXA255. Simulating full-size heaps would make full figure sweeps take
+//! hours, so the suite divides all sizes by [`SIM_SCALE`]: a "32 MB" heap
+//! is simulated as 4 MiB, and every workload blueprint sizes its live set
+//! against the scaled heap. The live-set : heap : cache ratios — which are
+//! what drive GC frequency, copy cost and locality — are preserved for the
+//! heap-sensitive range; only the absolute byte counts shrink.
+
+/// Denominator applied to every paper heap label.
+pub const SIM_SCALE: u64 = 8;
+
+/// The paper's P6 heap sweep, in MB labels (Section IV-A).
+pub const P6_HEAPS_MB: [u32; 7] = [32, 48, 64, 80, 96, 112, 128];
+
+/// The paper's PXA255 heap sweep, in MB labels (Section VI-E).
+pub const PXA_HEAPS_MB: [u32; 6] = [12, 16, 20, 24, 28, 32];
+
+/// Convert a paper heap label (MB) into simulated heap bytes.
+pub fn heap_bytes(label_mb: u32) -> u64 {
+    u64::from(label_mb) * (1 << 20) / SIM_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_scale_down_by_sim_scale() {
+        assert_eq!(heap_bytes(32), 4 << 20);
+        assert_eq!(heap_bytes(128), 16 << 20);
+        assert_eq!(heap_bytes(12), 3 * (1 << 20) / 2);
+    }
+
+    #[test]
+    fn sweeps_match_paper() {
+        assert_eq!(P6_HEAPS_MB.len(), 7);
+        assert_eq!(PXA_HEAPS_MB.len(), 6);
+        assert!(P6_HEAPS_MB.windows(2).all(|w| w[1] - w[0] == 16));
+        assert!(PXA_HEAPS_MB.windows(2).all(|w| w[1] - w[0] == 4));
+    }
+}

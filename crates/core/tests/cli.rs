@@ -1,0 +1,58 @@
+//! Integration tests for the `vmprobe-run` command-line interface.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vmprobe-run"))
+}
+
+#[test]
+fn runs_an_experiment_and_prints_a_report() {
+    let out = bin()
+        .args(["moldyn", "gencopy", "32"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("experiment : moldyn on Jikes/GenCopy @ 32 MB"));
+    assert!(text.contains("components :"));
+    assert!(text.contains("App"));
+    assert!(text.contains("jvm energy :"));
+}
+
+#[test]
+fn kaffe_and_pxa_flags_are_honoured() {
+    let out = bin()
+        .args(["_209_db", "kaffe", "16", "pxa255", "s10"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Kaffe"));
+    assert!(text.contains("Pxa255"));
+}
+
+#[test]
+fn unknown_benchmark_fails_with_usage() {
+    let out = bin().args(["_999_bogus"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown benchmark") || err.contains("usage"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn no_arguments_prints_benchmark_list() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"));
+    assert!(err.contains("_213_javac"));
+    assert!(err.contains("moldyn"));
+}

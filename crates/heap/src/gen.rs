@@ -1,0 +1,886 @@
+//! Generational collectors: GenCopy and GenMS.
+//!
+//! Both allocate new objects into a bump-allocated *nursery*; when it fills,
+//! a **minor** collection traces only the nursery-reachable subgraph (roots
+//! plus the remembered set maintained by the mutator write barrier) and
+//! promotes survivors into the mature space. They differ in the mature
+//! space: a copying semispace pair (**GenCopy**) or a segregated free list
+//! with mark-sweep (**GenMS**) — the bottom half of the paper's Figure 3.
+//!
+//! The generational hypothesis does the work: most objects die in the
+//! nursery, so minor collections are cheap (cost ∝ survivors), which is why
+//! the paper finds generational collectors dominating the energy-delay
+//! product at small heaps (Section VI-B), at the price of write-barrier
+//! overhead on every mutator pointer store — the overhead it blames for
+//! `_209_db`'s SemiSpace inversion at 128 MB.
+
+use std::collections::VecDeque;
+
+use vmprobe_platform::Exec;
+
+use crate::marksweep::SegregatedFreeList;
+use crate::plan::{
+    align8, charge_alloc, charge_remember, charge_root_scan, charge_scan, heap_region, mark,
+};
+use crate::{
+    AllocError, AllocRequest, CollectionKind, CollectionStats, CollectorKind, CollectorPlan,
+    GcStats, ObjId, Object, ObjectHeap, RootSet, Space,
+};
+
+/// Fraction of the heap dedicated to the nursery (before capping).
+pub const NURSERY_FRACTION: f64 = 0.25;
+
+/// Upper bound on nursery size in simulated bytes (a bounded nursery, as in
+/// production generational configurations).
+pub const NURSERY_MAX_BYTES: u64 = 512 << 10;
+
+/// Objects at or above this size allocate directly into the mature space
+/// (a minimal large-object-space policy).
+pub(crate) const LOS_THRESHOLD: u32 = 32 << 10;
+
+fn nursery_bytes(heap_bytes: u64) -> u64 {
+    let frac = (heap_bytes as f64 * NURSERY_FRACTION) as u64;
+    align8(frac.clamp(4096, NURSERY_MAX_BYTES))
+}
+
+#[derive(Debug, Clone)]
+struct Nursery {
+    base: u64,
+    size: u64,
+    cursor: u64,
+}
+
+impl Nursery {
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        if self.cursor + size > self.size {
+            None
+        } else {
+            let addr = self.base + self.cursor;
+            self.cursor += size;
+            Some(addr)
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.cursor
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Generational collector with a copying (semispace) mature space.
+#[derive(Debug, Clone)]
+pub struct GenCopy {
+    heap_bytes: u64,
+    nursery: Nursery,
+    remset: Vec<ObjId>,
+    mature_half: u64,
+    active: u8,
+    cursor: u64,
+    epoch: u32,
+    force_major: bool,
+    stats: GcStats,
+}
+
+impl GenCopy {
+    /// Create a plan managing `heap_bytes` of simulated heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_bytes < 16384` (no room for nursery plus two mature
+    /// halves).
+    pub fn new(heap_bytes: u64) -> Self {
+        Self::with_nursery(heap_bytes, nursery_bytes(heap_bytes))
+    }
+
+    /// Create a plan with an explicit nursery size (ablation studies of
+    /// the nursery-sizing policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_bytes < 16384` or the nursery does not leave room
+    /// for two mature halves.
+    pub fn with_nursery(heap_bytes: u64, nursery: u64) -> Self {
+        assert!(
+            heap_bytes >= 16384,
+            "heap too small for a generational layout"
+        );
+        let nsz = align8(nursery.clamp(4096, heap_bytes / 2));
+        Self {
+            heap_bytes,
+            nursery: Nursery {
+                base: heap_region(0),
+                size: nsz,
+                cursor: 0,
+            },
+            remset: Vec::new(),
+            mature_half: (heap_bytes - nsz) / 2,
+            active: 0,
+            cursor: 0,
+            epoch: 0,
+            force_major: false,
+            stats: GcStats::default(),
+        }
+    }
+
+    fn mature_base(&self, half: u8) -> u64 {
+        heap_region(self.nursery.size + u64::from(half) * self.mature_half)
+    }
+
+    fn mature_free(&self) -> u64 {
+        self.mature_half.saturating_sub(self.cursor)
+    }
+
+    /// Appel-style flexible nursery: never let more accumulate in the
+    /// nursery than the mature space could absorb, so minor collections
+    /// always succeed and majors only run when the mature space is truly
+    /// full.
+    fn effective_nursery_limit(&self) -> u64 {
+        self.nursery.size.min(self.mature_free())
+    }
+
+    /// Nursery bytes currently allocated.
+    pub fn nursery_used(&self) -> u64 {
+        self.nursery.used()
+    }
+
+    /// Remembered-set entries currently pending.
+    pub fn remset_len(&self) -> usize {
+        self.remset.len()
+    }
+
+    fn promote(&mut self, heap: &mut ObjectHeap, id: ObjId, exec: &mut dyn Exec) -> u64 {
+        let (old_addr, size) = {
+            let o = heap.get(id);
+            (o.addr, o.size)
+        };
+        if self.cursor + align8(u64::from(size)) > self.mature_half {
+            // Mature space utterly full: the object stays in the nursery
+            // this cycle and the next collection is forced major.
+            self.force_major = true;
+            return u64::from(size);
+        }
+        let new_addr = self.mature_base(self.active) + self.cursor;
+        self.cursor += align8(u64::from(size));
+        exec.memcpy(old_addr, new_addr, size);
+        let o = heap.get_mut(id);
+        o.addr = new_addr;
+        o.space = Space::Half(self.active);
+        u64::from(size)
+    }
+
+    fn minor(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        let start = exec.cycles();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        charge_root_scan(exec, roots);
+
+        let mut queue: VecDeque<ObjId> = VecDeque::new();
+        for &r in &roots.refs {
+            if heap.get(r).space() == Space::Nursery && mark(heap, r, epoch) {
+                queue.push_back(r);
+            }
+        }
+        // Remembered set: scan each recorded mature object for nursery refs.
+        let remset = std::mem::take(&mut self.remset);
+        for src in remset {
+            if !heap.contains(src) {
+                continue;
+            }
+            charge_scan(exec, heap.get(src));
+            heap.get_mut(src).set_in_remset(false);
+            for i in 0..heap.get(src).ref_count() {
+                if let Some(t) = heap.get_ref(src, i) {
+                    if heap.get(t).space() == Space::Nursery && mark(heap, t, epoch) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        let mut live_objects = 0u64;
+        let mut live_bytes = 0u64;
+        while let Some(id) = queue.pop_front() {
+            live_bytes += self.promote(heap, id, exec);
+            live_objects += 1;
+            charge_scan(exec, heap.get(id));
+            for i in 0..heap.get(id).ref_count() {
+                if let Some(t) = heap.get_ref(id, i) {
+                    if heap.get(t).space() == Space::Nursery && mark(heap, t, epoch) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        let (freed_objects, freed_bytes) =
+            heap.free_matching(|o| o.space == Space::Nursery && o.mark_epoch != epoch);
+        self.nursery.reset();
+
+        let c = CollectionStats {
+            kind: CollectionKind::Minor,
+            live_objects,
+            live_bytes,
+            freed_objects,
+            freed_bytes,
+            copied_bytes: live_bytes,
+            pause_cycles: exec.cycles() - start,
+        };
+        self.stats.record(&c);
+        c
+    }
+
+    fn major(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        let start = exec.cycles();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        charge_root_scan(exec, roots);
+
+        let to = 1 - self.active;
+        let to_base = self.mature_base(to);
+        let mut to_cursor = 0u64;
+
+        let mut queue: VecDeque<ObjId> = VecDeque::new();
+        for &r in &roots.refs {
+            if mark(heap, r, epoch) {
+                queue.push_back(r);
+            }
+        }
+        let mut live_objects = 0u64;
+        let mut live_bytes = 0u64;
+        while let Some(id) = queue.pop_front() {
+            let (old_addr, size) = {
+                let o = heap.get(id);
+                (o.addr, o.size)
+            };
+            let new_addr = to_base + to_cursor;
+            to_cursor += align8(u64::from(size));
+            exec.memcpy(old_addr, new_addr, size);
+            {
+                let o = heap.get_mut(id);
+                o.addr = new_addr;
+                o.space = Space::Half(to);
+                o.set_in_remset(false);
+            }
+            charge_scan(exec, heap.get(id));
+            for i in 0..heap.get(id).ref_count() {
+                if let Some(t) = heap.get_ref(id, i) {
+                    if mark(heap, t, epoch) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+            live_objects += 1;
+            live_bytes += u64::from(size);
+        }
+
+        let (freed_objects, freed_bytes) = heap.free_matching(|o| o.mark_epoch != epoch);
+        self.active = to;
+        self.cursor = to_cursor;
+        self.nursery.reset();
+        self.remset.clear();
+
+        let c = CollectionStats {
+            kind: CollectionKind::Major,
+            live_objects,
+            live_bytes,
+            freed_objects,
+            freed_bytes,
+            copied_bytes: live_bytes,
+            pause_cycles: exec.cycles() - start,
+        };
+        self.stats.record(&c);
+        c
+    }
+}
+
+impl CollectorPlan for GenCopy {
+    fn kind(&self) -> CollectorKind {
+        CollectorKind::GenCopy
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        self.heap_bytes
+    }
+
+    fn alloc(
+        &mut self,
+        heap: &mut ObjectHeap,
+        req: AllocRequest,
+        exec: &mut dyn Exec,
+    ) -> Result<ObjId, AllocError> {
+        let size = align8(u64::from(req.size_bytes()));
+        if req.size_bytes() >= LOS_THRESHOLD || size > self.nursery.size {
+            // Large object: straight into the mature space.
+            if self.cursor + size > self.mature_half {
+                self.force_major = true;
+                return Err(AllocError::NeedsGc);
+            }
+            let addr = self.mature_base(self.active) + self.cursor;
+            self.cursor += size;
+            charge_alloc(exec, addr, size as u32);
+            return Ok(heap.insert(Object::new(
+                addr,
+                size as u32,
+                req.kind,
+                Space::Half(self.active),
+                req.ref_len,
+                req.prim_len,
+            )));
+        }
+        if self.nursery.used() + size > self.effective_nursery_limit() {
+            return Err(AllocError::NeedsGc);
+        }
+        match self.nursery.alloc(size) {
+            Some(addr) => {
+                charge_alloc(exec, addr, size as u32);
+                Ok(heap.insert(Object::new(
+                    addr,
+                    size as u32,
+                    req.kind,
+                    Space::Nursery,
+                    req.ref_len,
+                    req.prim_len,
+                )))
+            }
+            None => Err(AllocError::NeedsGc),
+        }
+    }
+
+    fn collect(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        // Major only when the mature space cannot host another useful
+        // nursery cycle (the flexible nursery guarantees promotions fit).
+        let need_major = self.force_major
+            || self.mature_free() < self.nursery.used().max(16 << 10)
+            || self.effective_nursery_limit() < (16 << 10);
+        self.force_major = false;
+        if need_major {
+            self.major(heap, roots, exec)
+        } else {
+            self.minor(heap, roots, exec)
+        }
+    }
+
+    fn collect_full(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        self.force_major = true;
+        self.collect(heap, roots, exec)
+    }
+
+    fn write_barrier(
+        &mut self,
+        heap: &mut ObjectHeap,
+        src: ObjId,
+        target: Option<ObjId>,
+        exec: &mut dyn Exec,
+    ) {
+        self.stats.barrier_stores += 1;
+        exec.int_ops(2);
+        if let Some(t) = target {
+            if heap.get(src).space() != Space::Nursery
+                && heap.get(t).space() == Space::Nursery
+                && !heap.get(src).in_remset()
+            {
+                heap.get_mut(src).set_in_remset(true);
+                self.remset.push(src);
+                self.stats.barrier_remembers += 1;
+                charge_remember(exec, self.remset.len() as u64);
+            }
+        }
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "GenCopy"
+    }
+}
+
+/// Generational collector with a mark-sweep (free-list) mature space.
+#[derive(Debug, Clone)]
+pub struct GenMs {
+    heap_bytes: u64,
+    nursery: Nursery,
+    remset: Vec<ObjId>,
+    fl: SegregatedFreeList,
+    epoch: u32,
+    force_major: bool,
+    stats: GcStats,
+}
+
+impl GenMs {
+    /// Create a plan managing `heap_bytes` of simulated heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_bytes < 16384`.
+    pub fn new(heap_bytes: u64) -> Self {
+        Self::with_nursery(heap_bytes, nursery_bytes(heap_bytes))
+    }
+
+    /// Create a plan with an explicit nursery size (ablation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_bytes < 16384`.
+    pub fn with_nursery(heap_bytes: u64, nursery: u64) -> Self {
+        assert!(
+            heap_bytes >= 16384,
+            "heap too small for a generational layout"
+        );
+        let nsz = align8(nursery.clamp(4096, heap_bytes / 2));
+        Self {
+            heap_bytes,
+            nursery: Nursery {
+                base: heap_region(0),
+                size: nsz,
+                cursor: 0,
+            },
+            remset: Vec::new(),
+            fl: SegregatedFreeList::new(heap_region(nsz), heap_bytes - nsz),
+            epoch: 0,
+            force_major: false,
+            stats: GcStats::default(),
+        }
+    }
+
+    fn mature_free(&self) -> u64 {
+        self.fl.capacity().saturating_sub(self.fl.used_bytes())
+    }
+
+    /// Appel-style flexible nursery (see [`GenCopy`]).
+    fn effective_nursery_limit(&self) -> u64 {
+        self.nursery.size.min(self.mature_free())
+    }
+
+    /// Nursery bytes currently allocated.
+    pub fn nursery_used(&self) -> u64 {
+        self.nursery.used()
+    }
+
+    fn promote(&mut self, heap: &mut ObjectHeap, id: ObjId, exec: &mut dyn Exec) -> Option<u64> {
+        let (old_addr, size) = {
+            let o = heap.get(id);
+            (o.addr, o.size)
+        };
+        let new_addr = self.fl.alloc(size, exec)?;
+        exec.memcpy(old_addr, new_addr, size);
+        let o = heap.get_mut(id);
+        o.addr = new_addr;
+        o.space = Space::Cells;
+        Some(u64::from(size))
+    }
+
+    fn trace_and_promote(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+        epoch: u32,
+        nursery_only: bool,
+    ) -> (u64, u64, u64) {
+        let mut queue: VecDeque<ObjId> = VecDeque::new();
+        let admit =
+            |heap: &ObjectHeap, id: ObjId| !nursery_only || heap.get(id).space() == Space::Nursery;
+        for &r in &roots.refs {
+            if admit(heap, r) && mark(heap, r, epoch) {
+                queue.push_back(r);
+            }
+        }
+        if nursery_only {
+            let remset = std::mem::take(&mut self.remset);
+            for src in remset {
+                if !heap.contains(src) {
+                    continue;
+                }
+                charge_scan(exec, heap.get(src));
+                heap.get_mut(src).set_in_remset(false);
+                for i in 0..heap.get(src).ref_count() {
+                    if let Some(t) = heap.get_ref(src, i) {
+                        if heap.get(t).space() == Space::Nursery && mark(heap, t, epoch) {
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut live_objects = 0u64;
+        let mut live_bytes = 0u64;
+        let mut copied = 0u64;
+        while let Some(id) = queue.pop_front() {
+            if heap.get(id).space() == Space::Nursery {
+                // Promotion can only fail when the mature space is utterly
+                // full; the object then stays in the nursery this cycle and
+                // the next allocation failure forces a major collection.
+                match self.promote(heap, id, exec) {
+                    Some(b) => copied += b,
+                    None => self.force_major = true,
+                }
+            }
+            live_objects += 1;
+            live_bytes += u64::from(heap.get(id).size());
+            charge_scan(exec, heap.get(id));
+            for i in 0..heap.get(id).ref_count() {
+                if let Some(t) = heap.get_ref(id, i) {
+                    if admit(heap, t) && mark(heap, t, epoch) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        (live_objects, live_bytes, copied)
+    }
+}
+
+impl CollectorPlan for GenMs {
+    fn kind(&self) -> CollectorKind {
+        CollectorKind::GenMs
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        self.heap_bytes
+    }
+
+    fn alloc(
+        &mut self,
+        heap: &mut ObjectHeap,
+        req: AllocRequest,
+        exec: &mut dyn Exec,
+    ) -> Result<ObjId, AllocError> {
+        let size = align8(u64::from(req.size_bytes()));
+        if req.size_bytes() >= LOS_THRESHOLD || size > self.nursery.size {
+            let addr = self.fl.alloc(req.size_bytes(), exec).ok_or_else(|| {
+                self.force_major = true;
+                AllocError::NeedsGc
+            })?;
+            charge_alloc(exec, addr, req.size_bytes());
+            return Ok(heap.insert(Object::new(
+                addr,
+                req.size_bytes(),
+                req.kind,
+                Space::Cells,
+                req.ref_len,
+                req.prim_len,
+            )));
+        }
+        if self.nursery.used() + size > self.effective_nursery_limit() {
+            return Err(AllocError::NeedsGc);
+        }
+        match self.nursery.alloc(size) {
+            Some(addr) => {
+                charge_alloc(exec, addr, size as u32);
+                Ok(heap.insert(Object::new(
+                    addr,
+                    size as u32,
+                    req.kind,
+                    Space::Nursery,
+                    req.ref_len,
+                    req.prim_len,
+                )))
+            }
+            None => Err(AllocError::NeedsGc),
+        }
+    }
+
+    fn collect(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        let start = exec.cycles();
+        let need_major = self.force_major
+            || self.mature_free() < self.nursery.used().max(16 << 10)
+            || self.effective_nursery_limit() < (16 << 10);
+        self.force_major = false;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        charge_root_scan(exec, roots);
+
+        if !need_major {
+            let (live_objects, live_bytes, copied) =
+                self.trace_and_promote(heap, roots, exec, epoch, true);
+            let (freed_objects, freed_bytes) =
+                heap.free_matching(|o| o.space == Space::Nursery && o.mark_epoch != epoch);
+            self.nursery.reset();
+            let c = CollectionStats {
+                kind: CollectionKind::Minor,
+                live_objects,
+                live_bytes,
+                freed_objects,
+                freed_bytes,
+                copied_bytes: copied,
+                pause_cycles: exec.cycles() - start,
+            };
+            self.stats.record(&c);
+            return c;
+        }
+
+        // Major: full trace (promoting any nursery survivors), then sweep
+        // the mature cells.
+        let (live_objects, live_bytes, copied) =
+            self.trace_and_promote(heap, roots, exec, epoch, false);
+        let ids: Vec<ObjId> = heap.iter_ids().collect();
+        let mut freed_objects = 0u64;
+        let mut freed_bytes = 0u64;
+        for id in ids {
+            let (addr, size, space, marked) = {
+                let o = heap.get(id);
+                (o.addr(), o.size(), o.space(), o.mark_epoch == epoch)
+            };
+            exec.load(addr);
+            exec.int_ops(3);
+            self.stats.total_swept_objects += 1;
+            if !marked {
+                if space == Space::Cells {
+                    self.fl.free(addr, size);
+                }
+                heap.remove(id);
+                freed_objects += 1;
+                freed_bytes += u64::from(size);
+            } else {
+                heap.get_mut(id).set_in_remset(false);
+            }
+        }
+        self.nursery.reset();
+        self.remset.clear();
+
+        let c = CollectionStats {
+            kind: CollectionKind::Major,
+            live_objects,
+            live_bytes,
+            freed_objects,
+            freed_bytes,
+            copied_bytes: copied,
+            pause_cycles: exec.cycles() - start,
+        };
+        self.stats.record(&c);
+        c
+    }
+
+    fn write_barrier(
+        &mut self,
+        heap: &mut ObjectHeap,
+        src: ObjId,
+        target: Option<ObjId>,
+        exec: &mut dyn Exec,
+    ) {
+        self.stats.barrier_stores += 1;
+        exec.int_ops(2);
+        if let Some(t) = target {
+            if heap.get(src).space() != Space::Nursery
+                && heap.get(t).space() == Space::Nursery
+                && !heap.get(src).in_remset()
+            {
+                heap.get_mut(src).set_in_remset(true);
+                self.remset.push(src);
+                self.stats.barrier_remembers += 1;
+                charge_remember(exec, self.remset.len() as u64);
+            }
+        }
+    }
+
+    fn collect_full(
+        &mut self,
+        heap: &mut ObjectHeap,
+        roots: &RootSet,
+        exec: &mut dyn Exec,
+    ) -> CollectionStats {
+        self.force_major = true;
+        self.collect(heap, roots, exec)
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "GenMS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprobe_platform::{Machine, PlatformKind};
+
+    const HEAP: u64 = 256 << 10;
+
+    fn small(plan: &mut dyn CollectorPlan, heap: &mut ObjectHeap, m: &mut Machine) -> ObjId {
+        plan.alloc(heap, AllocRequest::instance(0, 2, 2), m)
+            .unwrap()
+    }
+
+    #[test]
+    fn gencopy_allocates_in_nursery_first() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let a = small(&mut plan, &mut heap, &mut m);
+        assert_eq!(heap.get(a).space(), Space::Nursery);
+        assert!(plan.nursery_used() > 0);
+    }
+
+    #[test]
+    fn gencopy_minor_promotes_survivors() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let a = small(&mut plan, &mut heap, &mut m);
+        let stats = plan.collect(&mut heap, &RootSet::from_refs(vec![a]), &mut m);
+        assert_eq!(stats.kind, CollectionKind::Minor);
+        assert_eq!(stats.live_objects, 1);
+        assert!(matches!(heap.get(a).space(), Space::Half(_)));
+        assert_eq!(plan.nursery_used(), 0);
+    }
+
+    #[test]
+    fn write_barrier_remembers_mature_to_nursery_edges() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let old = small(&mut plan, &mut heap, &mut m);
+        plan.collect(&mut heap, &RootSet::from_refs(vec![old]), &mut m); // promote old
+        let young = small(&mut plan, &mut heap, &mut m);
+        plan.write_barrier(&mut heap, old, Some(young), &mut m);
+        heap.set_ref(old, 0, Some(young));
+        assert_eq!(plan.remset_len(), 1);
+        // Minor with NO precise root for `young`: only the remset keeps it.
+        let stats = plan.collect(&mut heap, &RootSet::from_refs(vec![old]), &mut m);
+        assert_eq!(stats.kind, CollectionKind::Minor);
+        assert!(heap.contains(young));
+        assert!(matches!(heap.get(young).space(), Space::Half(_)));
+        assert_eq!(plan.stats().barrier_remembers, 1);
+    }
+
+    #[test]
+    fn without_barrier_nursery_object_referenced_only_from_mature_dies() {
+        // Demonstrates why the barrier is required: this is the unsafe
+        // behaviour the barrier exists to prevent.
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let old = small(&mut plan, &mut heap, &mut m);
+        plan.collect(&mut heap, &RootSet::from_refs(vec![old]), &mut m);
+        let young = small(&mut plan, &mut heap, &mut m);
+        heap.set_ref(old, 0, Some(young)); // no barrier call!
+        plan.collect(&mut heap, &RootSet::from_refs(vec![old]), &mut m);
+        assert!(!heap.contains(young));
+    }
+
+    #[test]
+    fn gencopy_major_runs_when_mature_fills() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(64 << 10); // tiny heap
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut roots = Vec::new();
+        let mut minor_seen = false;
+        let mut major_seen = false;
+        for _ in 0..2000 {
+            match plan.alloc(&mut heap, AllocRequest::instance(0, 0, 6), &mut m) {
+                Ok(id) => {
+                    // Retain enough survivors to pressure the mature space.
+                    if roots.len() < 300 {
+                        roots.push(id);
+                    }
+                }
+                Err(AllocError::NeedsGc) => {
+                    let s = plan.collect(&mut heap, &RootSet::from_refs(roots.clone()), &mut m);
+                    match s.kind {
+                        CollectionKind::Minor => minor_seen = true,
+                        CollectionKind::Major => major_seen = true,
+                        CollectionKind::Increment => {}
+                    }
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(minor_seen, "expected minor collections");
+        assert!(major_seen, "expected a major collection on a tiny heap");
+    }
+
+    #[test]
+    fn genms_minor_promotes_into_cells() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenMs::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let a = small(&mut plan, &mut heap, &mut m);
+        let stats = plan.collect(&mut heap, &RootSet::from_refs(vec![a]), &mut m);
+        assert_eq!(stats.kind, CollectionKind::Minor);
+        assert_eq!(heap.get(a).space(), Space::Cells);
+    }
+
+    #[test]
+    fn genms_major_sweeps_dead_mature_objects() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenMs::new(HEAP);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let a = small(&mut plan, &mut heap, &mut m);
+        let b = small(&mut plan, &mut heap, &mut m);
+        // Promote both.
+        plan.collect(&mut heap, &RootSet::from_refs(vec![a, b]), &mut m);
+        assert_eq!(heap.get(b).space(), Space::Cells);
+        // Force a major; only `a` stays live.
+        plan.force_major = true;
+        let stats = plan.collect(&mut heap, &RootSet::from_refs(vec![a]), &mut m);
+        assert_eq!(stats.kind, CollectionKind::Major);
+        assert!(heap.contains(a));
+        assert!(!heap.contains(b));
+        assert!(plan.stats().total_swept_objects >= 2);
+    }
+
+    #[test]
+    fn large_objects_bypass_the_nursery() {
+        let mut heap = ObjectHeap::new();
+        let mut plan = GenCopy::new(4 << 20);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let big = plan
+            .alloc(
+                &mut heap,
+                AllocRequest::int_array((LOS_THRESHOLD / 8) + 16),
+                &mut m,
+            )
+            .unwrap();
+        assert!(matches!(heap.get(big).space(), Space::Half(_)));
+        let mut plan2 = GenMs::new(4 << 20);
+        let big2 = plan2
+            .alloc(
+                &mut heap,
+                AllocRequest::int_array((LOS_THRESHOLD / 8) + 16),
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(heap.get(big2).space(), Space::Cells);
+    }
+
+    #[test]
+    fn nursery_sizing_respects_fraction_and_cap() {
+        assert_eq!(nursery_bytes(4 << 20), 512 << 10); // capped
+        assert_eq!(nursery_bytes(1 << 20), 256 << 10); // fraction
+        assert!(nursery_bytes(20_000) >= 4096); // floor
+    }
+}

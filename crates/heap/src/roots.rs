@@ -1,0 +1,57 @@
+//! Root sets handed from the runtime to the collectors.
+
+use crate::ObjId;
+
+/// The references from which a collection traces.
+///
+/// `refs` are *precise* roots: static reference slots plus every reference
+/// in live thread frames, enumerated exactly by the runtime (the Jikes-style
+/// plans use only these). `ambiguous` carries the raw primitive words from
+/// the same frames: a *conservative* collector (Kaffe's) additionally treats
+/// any such word that happens to look like an object address as a root,
+/// pinning the object it points into — the paper's Kaffe uses exactly this
+/// scheme, and it is why conservative collectors retain extra floating
+/// garbage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RootSet {
+    /// Precise reference roots.
+    pub refs: Vec<ObjId>,
+    /// Raw primitive words scanned conservatively by ambiguous-root plans.
+    pub ambiguous: Vec<u64>,
+}
+
+impl RootSet {
+    /// An empty root set (everything is garbage).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience constructor from precise roots only.
+    pub fn from_refs(refs: Vec<ObjId>) -> Self {
+        Self {
+            refs,
+            ambiguous: Vec::new(),
+        }
+    }
+
+    /// Total entries the collector must examine during the root scan.
+    pub fn scan_len(&self) -> usize {
+        self.refs.len() + self.ambiguous.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_len_counts_both_kinds() {
+        let r = RootSet {
+            refs: vec![ObjId(1), ObjId(2)],
+            ambiguous: vec![0xdead, 0xbeef, 0x1000],
+        };
+        assert_eq!(r.scan_len(), 5);
+        assert_eq!(RootSet::new().scan_len(), 0);
+        assert_eq!(RootSet::from_refs(vec![ObjId(9)]).refs.len(), 1);
+    }
+}

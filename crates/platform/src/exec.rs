@@ -1,0 +1,104 @@
+//! The [`Exec`] charging interface.
+//!
+//! Both the interpreter and the garbage collectors express their work as
+//! calls on this trait. [`Machine`](crate::Machine) implements it directly;
+//! the measurement layer wraps a machine in a sampling adapter that also
+//! implements `Exec`, so that the 40 µs DAQ keeps sampling *during*
+//! collector pauses — exactly as the paper's physical rig keeps sampling
+//! while the GC thread runs.
+
+use crate::{Addr, Machine};
+
+/// A sink for executed work: instructions and memory accesses.
+///
+/// All methods mirror [`Machine`]'s charging API; see there for semantics.
+/// The trait is object-safe so collectors can take `&mut dyn Exec`.
+pub trait Exec {
+    /// Retire `n` integer ALU operations.
+    fn int_ops(&mut self, n: u32);
+    /// Retire `n` floating point operations.
+    fn fp_ops(&mut self, n: u32);
+    /// Retire one transcendental math intrinsic.
+    fn math_op(&mut self);
+    /// Retire one branch.
+    fn branch(&mut self);
+    /// Retire a data load.
+    fn load(&mut self, addr: Addr);
+    /// Retire a data store.
+    fn store(&mut self, addr: Addr);
+    /// Fetch an instruction-cache line.
+    fn ifetch(&mut self, addr: Addr);
+    /// Stall without retiring instructions.
+    fn stall(&mut self, cycles: f64);
+    /// Streaming line-granularity read of `bytes` at `addr`.
+    fn stream_read(&mut self, addr: Addr, bytes: u32);
+    /// Streaming line-granularity write of `bytes` at `addr`.
+    fn stream_write(&mut self, addr: Addr, bytes: u32);
+    /// Bulk copy: streaming read + write + per-word ALU work.
+    fn memcpy(&mut self, src: Addr, dst: Addr, bytes: u32);
+    /// Elapsed cycles.
+    fn cycles(&self) -> u64;
+    /// Elapsed simulated seconds.
+    fn now(&self) -> f64;
+}
+
+impl Exec for Machine {
+    fn int_ops(&mut self, n: u32) {
+        Machine::int_ops(self, n);
+    }
+    fn fp_ops(&mut self, n: u32) {
+        Machine::fp_ops(self, n);
+    }
+    fn math_op(&mut self) {
+        Machine::math_op(self);
+    }
+    fn branch(&mut self) {
+        Machine::branch(self);
+    }
+    fn load(&mut self, addr: Addr) {
+        Machine::load(self, addr);
+    }
+    fn store(&mut self, addr: Addr) {
+        Machine::store(self, addr);
+    }
+    fn ifetch(&mut self, addr: Addr) {
+        Machine::ifetch(self, addr);
+    }
+    fn stall(&mut self, cycles: f64) {
+        Machine::stall(self, cycles);
+    }
+    fn stream_read(&mut self, addr: Addr, bytes: u32) {
+        Machine::stream_read(self, addr, bytes);
+    }
+    fn stream_write(&mut self, addr: Addr, bytes: u32) {
+        Machine::stream_write(self, addr, bytes);
+    }
+    fn memcpy(&mut self, src: Addr, dst: Addr, bytes: u32) {
+        Machine::memcpy(self, src, dst, bytes);
+    }
+    fn cycles(&self) -> u64 {
+        Machine::cycles(self)
+    }
+    fn now(&self) -> f64 {
+        Machine::now(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlatformKind;
+
+    fn drive(e: &mut dyn Exec) {
+        e.int_ops(5);
+        e.load(0x1000_0000);
+        e.branch();
+    }
+
+    #[test]
+    fn machine_implements_exec_object_safely() {
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        drive(&mut m);
+        assert_eq!(m.hpm().instructions, 7);
+    }
+}

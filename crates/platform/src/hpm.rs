@@ -1,0 +1,186 @@
+//! Hardware performance monitor (HPM) counter file.
+//!
+//! The paper's methodology samples HPM counters from the OS timer (1 ms on
+//! the P6, 10 ms on the PXA255) and matches them offline with the power
+//! trace. This module provides the counter file, cheap snapshots, and
+//! between-snapshot deltas with the derived rates (IPC, L2 miss rate) the
+//! paper uses to explain component power.
+
+use serde::{Deserialize, Serialize};
+
+/// Live counter file incremented by the [`Machine`](crate::Machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hpm {
+    /// Retired instructions (all µops charged by the runtime).
+    pub instructions: u64,
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating point operations (including math intrinsics).
+    pub fp_ops: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// L1I accesses.
+    pub l1i_accesses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses (zero on platforms without L2).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Accesses that reached DRAM.
+    pub mem_accesses: u64,
+    /// Cycles spent stalled on the memory hierarchy.
+    pub stall_cycles: u64,
+}
+
+/// A point-in-time copy of the counter file plus the cycle counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HpmSnapshot {
+    /// Cycle count at snapshot time.
+    pub cycles: u64,
+    /// Counter values.
+    pub counters: Hpm,
+}
+
+impl HpmSnapshot {
+    /// Counter movement between `earlier` and `self`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `earlier` does not postdate `self`.
+    pub fn delta_since(&self, earlier: &HpmSnapshot) -> HpmDelta {
+        debug_assert!(earlier.cycles <= self.cycles, "snapshots out of order");
+        let a = &earlier.counters;
+        let b = &self.counters;
+        HpmDelta {
+            cycles: self.cycles - earlier.cycles,
+            instructions: b.instructions - a.instructions,
+            fp_ops: b.fp_ops - a.fp_ops,
+            l1d_misses: b.l1d_misses - a.l1d_misses,
+            l2_accesses: b.l2_accesses - a.l2_accesses,
+            l2_misses: b.l2_misses - a.l2_misses,
+            mem_accesses: b.mem_accesses - a.mem_accesses,
+            stall_cycles: b.stall_cycles - a.stall_cycles,
+        }
+    }
+}
+
+/// Counter movement over a sampling window; input to the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HpmDelta {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Floating point operations.
+    pub fp_ops: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM accesses.
+    pub mem_accesses: u64,
+    /// Memory stall cycles.
+    pub stall_cycles: u64,
+}
+
+impl HpmDelta {
+    /// Instructions per cycle over the window (0 for an empty window).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 miss rate over the window (misses / accesses), the statistic the
+    /// paper quotes per component (e.g. 54% for the GenCopy collector).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Merge two deltas (used when aggregating windows per component).
+    pub fn merged(&self, other: &HpmDelta) -> HpmDelta {
+        HpmDelta {
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            fp_ops: self.fp_ops + other.fp_ops,
+            l1d_misses: self.l1d_misses + other.l1d_misses,
+            l2_accesses: self.l2_accesses + other.l2_accesses,
+            l2_misses: self.l2_misses + other.l2_misses,
+            mem_accesses: self.mem_accesses + other.mem_accesses,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_rates() {
+        let a = HpmSnapshot {
+            cycles: 100,
+            counters: Hpm {
+                instructions: 50,
+                l2_accesses: 10,
+                l2_misses: 2,
+                ..Hpm::default()
+            },
+        };
+        let b = HpmSnapshot {
+            cycles: 300,
+            counters: Hpm {
+                instructions: 210,
+                l2_accesses: 30,
+                l2_misses: 12,
+                ..Hpm::default()
+            },
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.instructions, 160);
+        assert!((d.ipc() - 0.8).abs() < 1e-12);
+        assert!((d.l2_miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_rates_are_zero() {
+        let d = HpmDelta::default();
+        assert_eq!(d.ipc(), 0.0);
+        assert_eq!(d.l2_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merged_sums_fields() {
+        let a = HpmDelta {
+            cycles: 10,
+            instructions: 5,
+            ..HpmDelta::default()
+        };
+        let b = HpmDelta {
+            cycles: 20,
+            instructions: 15,
+            ..HpmDelta::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.cycles, 30);
+        assert_eq!(m.instructions, 20);
+    }
+}

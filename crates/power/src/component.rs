@@ -1,0 +1,106 @@
+//! Virtual-machine component identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// The software components the instrumentation distinguishes.
+///
+/// Jikes-style runs use `BaseCompiler`/`OptCompiler` plus `Controller` and
+/// `Scheduler`; Kaffe-style runs use `JitCompiler`. Everything that is not
+/// an instrumented VM service is `Application` (the paper's "App"/mutator),
+/// and `Idle` denotes nothing scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComponentId {
+    /// The running Java application (mutator).
+    Application,
+    /// Garbage collector.
+    Gc,
+    /// Class loader (including verification).
+    ClassLoader,
+    /// Jikes-style baseline compiler.
+    BaseCompiler,
+    /// Jikes-style optimizing compiler.
+    OptCompiler,
+    /// Kaffe-style just-in-time compiler.
+    JitCompiler,
+    /// Thread scheduler.
+    Scheduler,
+    /// Jikes-style adaptive-optimization controller thread.
+    Controller,
+    /// Nothing scheduled.
+    Idle,
+}
+
+impl ComponentId {
+    /// All identifiers, in display order.
+    pub const ALL: [ComponentId; 9] = [
+        ComponentId::Application,
+        ComponentId::Gc,
+        ComponentId::ClassLoader,
+        ComponentId::BaseCompiler,
+        ComponentId::OptCompiler,
+        ComponentId::JitCompiler,
+        ComponentId::Scheduler,
+        ComponentId::Controller,
+        ComponentId::Idle,
+    ];
+
+    /// Dense index for table storage.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label matching the paper's figure legends.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ComponentId::Application => "App",
+            ComponentId::Gc => "GC",
+            ComponentId::ClassLoader => "CL",
+            ComponentId::BaseCompiler => "base_comp",
+            ComponentId::OptCompiler => "opt_comp",
+            ComponentId::JitCompiler => "JIT",
+            ComponentId::Scheduler => "sched",
+            ComponentId::Controller => "ctrl",
+            ComponentId::Idle => "idle",
+        }
+    }
+
+    /// Whether the component counts toward "JVM energy" in the paper's
+    /// decomposition (everything the VM does on the application's behalf,
+    /// as opposed to the application itself).
+    pub const fn is_vm_service(self) -> bool {
+        !matches!(self, ComponentId::Application | ComponentId::Idle)
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, c) in ComponentId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn vm_service_classification() {
+        assert!(ComponentId::Gc.is_vm_service());
+        assert!(ComponentId::OptCompiler.is_vm_service());
+        assert!(!ComponentId::Application.is_vm_service());
+        assert!(!ComponentId::Idle.is_vm_service());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(ComponentId::Gc.label(), "GC");
+        assert_eq!(ComponentId::ClassLoader.label(), "CL");
+        assert_eq!(ComponentId::OptCompiler.to_string(), "opt_comp");
+    }
+}

@@ -1,0 +1,124 @@
+//! The memory-mapped component-ID register.
+//!
+//! On the P6 board the paper drives the parallel port; on the DBPXA255 it
+//! uses general-purpose processor pins. Either way the register holds the
+//! ID of the component currently executing, and the DAQ reads it at every
+//! sample instant. Kaffe-style instrumentation brackets components with
+//! entry/exit calls — which nest ("we have to be careful in covering cases
+//! of recurrent or overlapping component calls", Section IV-C) — so the
+//! port keeps a shadow stack; Jikes-style instrumentation writes from the
+//! thread scheduler, which maps to [`ComponentPort::set_base`].
+
+use crate::ComponentId;
+
+/// Simulated I/O register with a shadow stack for nested component entry.
+#[derive(Debug, Clone)]
+pub struct ComponentPort {
+    stack: Vec<ComponentId>,
+    writes: u64,
+}
+
+impl Default for ComponentPort {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComponentPort {
+    /// A port reading [`ComponentId::Idle`] until something executes.
+    pub fn new() -> Self {
+        Self {
+            stack: vec![ComponentId::Idle],
+            writes: 0,
+        }
+    }
+
+    /// The ID currently visible on the register pins.
+    pub fn current(&self) -> ComponentId {
+        *self.stack.last().expect("port stack never empty")
+    }
+
+    /// Enter a nested component (Kaffe-style entry call).
+    pub fn push(&mut self, c: ComponentId) {
+        self.stack.push(c);
+        self.writes += 1;
+    }
+
+    /// Exit the current component, restoring the enclosing one
+    /// (Kaffe-style exit call).
+    ///
+    /// # Panics
+    ///
+    /// Panics on exit without a matching entry — an instrumentation bug the
+    /// paper's methodology also had to guard against.
+    pub fn pop(&mut self) -> ComponentId {
+        assert!(
+            self.stack.len() > 1,
+            "component exit without matching entry"
+        );
+        let c = self.stack.pop().expect("checked non-empty");
+        self.writes += 1;
+        c
+    }
+
+    /// Scheduler-style flat write: replaces the *base* context (what runs
+    /// when no nested component is active). Used by the Jikes-style thread
+    /// scheduler when it switches threads.
+    pub fn set_base(&mut self, c: ComponentId) {
+        self.stack[0] = c;
+        self.writes += 1;
+    }
+
+    /// Current nesting depth (1 = base context only).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of register writes performed (each costs an I/O store in the
+    /// runtime's perturbation accounting).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_idle() {
+        assert_eq!(ComponentPort::new().current(), ComponentId::Idle);
+    }
+
+    #[test]
+    fn push_pop_nesting() {
+        let mut p = ComponentPort::new();
+        p.set_base(ComponentId::Application);
+        p.push(ComponentId::ClassLoader);
+        // Class loading can trigger GC: overlapping component calls.
+        p.push(ComponentId::Gc);
+        assert_eq!(p.current(), ComponentId::Gc);
+        assert_eq!(p.pop(), ComponentId::Gc);
+        assert_eq!(p.current(), ComponentId::ClassLoader);
+        p.pop();
+        assert_eq!(p.current(), ComponentId::Application);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.writes(), 5);
+    }
+
+    #[test]
+    fn base_write_does_not_disturb_nesting() {
+        let mut p = ComponentPort::new();
+        p.push(ComponentId::Gc);
+        p.set_base(ComponentId::OptCompiler);
+        assert_eq!(p.current(), ComponentId::Gc);
+        p.pop();
+        assert_eq!(p.current(), ComponentId::OptCompiler);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching entry")]
+    fn unbalanced_pop_panics() {
+        ComponentPort::new().pop();
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on the measurement stack: energy conservation in the
+//! DAQ, thermal-model bounds, and power-model monotonicity.
+
+use proptest::prelude::*;
+use vmprobe_platform::{HpmDelta, Machine, PlatformKind};
+use vmprobe_power::{
+    ComponentId, Daq, DvfsPoint, PowerModel, Seconds, ThermalConfig, ThermalSim, Watts,
+};
+
+fn component(i: u8) -> ComponentId {
+    ComponentId::ALL[i as usize % ComponentId::ALL.len()]
+}
+
+proptest! {
+    #[test]
+    fn daq_conserves_energy_across_components(
+        segments in prop::collection::vec((0u8..9, 1u32..2000), 1..40),
+    ) {
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut daq = Daq::new(PlatformKind::PentiumM);
+        for &(c, work) in &segments {
+            for _ in 0..work {
+                m.int_ops(17);
+            }
+            daq.observe(&m.snapshot(), component(c));
+        }
+        let r = daq.report();
+        let sum: f64 = r.per_component.iter().map(|p| p.energy.joules()).sum();
+        prop_assert!((sum - r.cpu_energy.joules()).abs() < 1e-12);
+        let sum_t: f64 = r.per_component.iter().map(|p| p.time.seconds()).sum();
+        prop_assert!((sum_t - r.sampled_time.seconds()).abs() < 1e-12);
+        // Per component: peak >= average, energy = avg*time.
+        for p in &r.per_component {
+            if p.samples > 0 {
+                prop_assert!(p.peak.watts() + 1e-12 >= p.avg_power().watts());
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_power_is_monotonic_in_ipc(
+        cycles in 1_000u64..100_000,
+        i1 in 0u64..50_000,
+        extra in 1u64..20_000,
+    ) {
+        let model = PowerModel::new(PlatformKind::PentiumM);
+        let window = |instr: u64| HpmDelta { cycles, instructions: instr, ..HpmDelta::default() };
+        let lo = model.cpu_power(&window(i1), 40e-6);
+        let hi = model.cpu_power(&window(i1 + extra), 40e-6);
+        prop_assert!(hi.watts() + 1e-12 >= lo.watts());
+        // And never below idle.
+        prop_assert!(lo.watts() >= 4.5 - 1e-12);
+    }
+
+    #[test]
+    fn thermal_temperature_stays_between_ambient_and_unthrottled_steady_state(
+        power in 5.0f64..20.0,
+        steps in 10usize..4000,
+        fan in any::<bool>(),
+    ) {
+        let cfg = ThermalConfig::default();
+        let mut sim = ThermalSim::new(cfg, fan);
+        let steady = sim.steady_state(Watts::new(power)).celsius();
+        let dt = Seconds::new(0.1);
+        for _ in 0..steps {
+            let s = sim.step(Watts::new(power), Watts::new(4.5), dt);
+            prop_assert!(s.temp.celsius() >= cfg.ambient_c - 1e-9);
+            prop_assert!(
+                s.temp.celsius() <= steady.max(cfg.trip_c + 2.0) + 1e-9,
+                "temperature {} above both steady state {} and trip band",
+                s.temp,
+                steady
+            );
+        }
+    }
+
+    #[test]
+    fn dvfs_scaling_never_increases_power(idx in 0usize..6) {
+        let ladder = DvfsPoint::ladder(PlatformKind::PentiumM);
+        let point = ladder[idx % ladder.len()];
+        let base = PowerModel::new(PlatformKind::PentiumM);
+        let scaled = PowerModel::with_coeffs(
+            point.scale_coeffs(*base.coeffs()),
+        );
+        let d = HpmDelta { cycles: 64_000, instructions: 48_000, ..HpmDelta::default() };
+        prop_assert!(
+            scaled.cpu_power(&d, 40e-6).watts() <= base.cpu_power(&d, 40e-6).watts() + 1e-12
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+use vmprobe_bytecode::MethodId;
+
+/// A fault raised during execution.
+///
+/// With verified workloads most variants indicate a misconfigured
+/// experiment (heap too small for the benchmark's live set) rather than a
+/// workload bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The live set does not fit the configured heap: allocation failed
+    /// even after a full collection.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Configured heap size.
+        heap_bytes: u64,
+    },
+    /// Dereferenced the null reference.
+    NullDereference {
+        /// Method executing at the fault.
+        method: MethodId,
+        /// Instruction index of the fault.
+        pc: u32,
+    },
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        /// Method executing at the fault.
+        method: MethodId,
+        /// Instruction index.
+        pc: u32,
+        /// Requested index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Call stack exceeded the configured frame limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An instruction read a field/slot beyond the object's layout.
+    BadSlot {
+        /// Method executing at the fault.
+        method: MethodId,
+        /// Instruction index.
+        pc: u32,
+        /// Requested slot.
+        slot: u16,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfMemory {
+                requested,
+                heap_bytes,
+            } => write!(
+                f,
+                "out of memory: {requested} bytes requested, heap is {heap_bytes} bytes"
+            ),
+            VmError::NullDereference { method, pc } => {
+                write!(f, "null dereference at {method}:{pc}")
+            }
+            VmError::IndexOutOfBounds {
+                method,
+                pc,
+                index,
+                len,
+            } => {
+                write!(
+                    f,
+                    "index {index} out of bounds (len {len}) at {method}:{pc}"
+                )
+            }
+            VmError::StackOverflow { limit } => {
+                write!(f, "call stack exceeded {limit} frames")
+            }
+            VmError::BadSlot { method, pc, slot } => {
+                write!(f, "slot {slot} beyond object layout at {method}:{pc}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = VmError::OutOfMemory {
+            requested: 64,
+            heap_bytes: 1024,
+        };
+        assert!(e.to_string().contains("out of memory"));
+        let e = VmError::NullDereference {
+            method: MethodId(2),
+            pc: 7,
+        };
+        assert!(e.to_string().contains("M2:7"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The `vmprobe` managed runtime.
+//!
+//! A from-scratch virtual machine for the [`vmprobe-bytecode`] language
+//! that reproduces the *component structure* of the two JVMs the paper
+//! instruments:
+//!
+//! * an execution engine with tiered code quality
+//!   ([`Tier`]: baseline / JIT / optimizing),
+//! * a [`ClassLoader`] with Jikes-style boot images vs Kaffe-style fully
+//!   lazy loading,
+//! * an adaptive-optimization [`Controller`] and compiler subsystem
+//!   ([`CompilerSubsystem`]),
+//! * stop-the-world and incremental garbage collection via the
+//!   [`vmprobe-heap`] plans, driven at allocation sites,
+//! * and — the heart of the reproduction — **component instrumentation**:
+//!   every service announces itself on the measurement port through the
+//!   [`Meter`], so the 40 µs DAQ attributes power exactly as the paper's
+//!   physical rig does.
+//!
+//! Run a program with [`Vm::new`] + [`Vm::run`]; the [`RunOutcome`]
+//! carries the per-component measurement [`Report`](vmprobe_power::Report)
+//! plus GC/compiler/runtime statistics.
+//!
+//! [`vmprobe-bytecode`]: vmprobe_bytecode
+//! [`vmprobe-heap`]: vmprobe_heap
+
+#![warn(missing_docs)]
+mod classloader;
+mod compiler;
+mod config;
+mod error;
+mod meter;
+mod stats;
+mod value;
+mod vm;
+
+pub use classloader::{ClassLoader, ClassRuntime, FieldSlot};
+pub use compiler::{CompilerStats, CompilerSubsystem, Controller, MethodRuntime, Tier};
+pub use config::{Personality, VmConfig};
+pub use error::VmError;
+pub use meter::Meter;
+pub use stats::VmStats;
+pub use value::Value;
+pub use vm::{RunOutcome, Vm};

@@ -1,0 +1,114 @@
+//! Runtime values.
+
+use vmprobe_heap::ObjId;
+
+/// A value on the operand stack or in a local slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    I(i64),
+    /// 64-bit float.
+    F(f64),
+    /// Reference to a live heap object.
+    Ref(ObjId),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// Integer view; floats truncate, references read as their raw handle
+    /// bits (conservative-stack realism), null reads as 0.
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => v as i64,
+            Value::Ref(r) => i64::from(r.0),
+            Value::Null => 0,
+        }
+    }
+
+    /// Float view; integers convert, references/null read as 0.0.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+            Value::Ref(_) | Value::Null => 0.0,
+        }
+    }
+
+    /// Branch truthiness: zero integers, zero floats and null are false.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+            Value::Ref(_) => true,
+            Value::Null => false,
+        }
+    }
+
+    /// The referenced object, if this is a non-null reference.
+    pub fn as_ref_id(self) -> Option<ObjId> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Raw bits for storage in a primitive heap slot.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I(v) => v as u64,
+            Value::F(v) => v.to_bits(),
+            Value::Ref(r) => u64::from(r.0),
+            Value::Null => 0,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::I(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::I(3).as_f(), 3.0);
+        assert_eq!(Value::F(2.9).as_i(), 2);
+        assert_eq!(Value::Null.as_i(), 0);
+        assert_eq!(Value::from(5i64), Value::I(5));
+        assert_eq!(Value::from(1.5f64), Value::F(1.5));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::I(1).truthy());
+        assert!(!Value::I(0).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Ref(ObjId(3)).truthy());
+        assert!(!Value::F(0.0).truthy());
+    }
+
+    #[test]
+    fn bits_round_trip_floats() {
+        let v = Value::F(3.25);
+        assert_eq!(f64::from_bits(v.to_bits()), 3.25);
+        assert_eq!(Value::default(), Value::I(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Focused tests for runtime details: interpreter edge operations, the
+//! scheduler/controller components, DVFS execution, and the nursery
+//! override.
+
+use vmprobe_bytecode::{ArrKind, ProgramBuilder, Ty};
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::{ComponentId, DvfsPoint};
+use vmprobe_vm::{Value, Vm, VmConfig};
+
+fn eval(build: impl FnOnce(&mut vmprobe_bytecode::MethodBuilder)) -> Value {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 4, build);
+    let program = p.finish(main).expect("verifies");
+    Vm::new(program, VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20))
+        .run()
+        .expect("runs")
+        .result
+        .expect("returns a value")
+}
+
+#[test]
+fn stack_shuffling_ops() {
+    // dup: 5 5 -> add = 10; swap: (10, 3) -> (3, 10) -> sub = -7... check both.
+    assert_eq!(
+        eval(|b| {
+            b.const_i(5).dup().add().ret_value();
+        }),
+        Value::I(10)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(10).const_i(3).swap().sub().ret_value();
+        }),
+        Value::I(3 - 10)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(1).const_i(2).pop().ret_value();
+        }),
+        Value::I(1)
+    );
+}
+
+#[test]
+fn division_and_remainder_saturate_on_zero() {
+    assert_eq!(
+        eval(|b| {
+            b.const_i(7).const_i(0).div().ret_value();
+        }),
+        Value::I(0)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(7).const_i(0).rem().ret_value();
+        }),
+        Value::I(0)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(-9).neg().ret_value();
+        }),
+        Value::I(9)
+    );
+}
+
+#[test]
+fn mixed_type_comparisons_coerce_to_float() {
+    // 2 < 2.5 -> true
+    assert_eq!(
+        eval(|b| {
+            b.const_i(2).const_f(2.5).lt().ret_value();
+        }),
+        Value::I(1)
+    );
+    // 3.0 == 3 -> true
+    assert_eq!(
+        eval(|b| {
+            b.const_f(3.0).const_i(3).eq().ret_value();
+        }),
+        Value::I(1)
+    );
+}
+
+#[test]
+fn null_checks_and_reference_equality() {
+    assert_eq!(
+        eval(|b| {
+            b.null().is_null().ret_value();
+        }),
+        Value::I(1)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(4).new_arr(ArrKind::Int).is_null().ret_value();
+        }),
+        Value::I(0)
+    );
+    // Same object compared to itself by identity.
+    assert_eq!(
+        eval(|b| {
+            b.const_i(2).new_arr(ArrKind::Ref).store(0);
+            b.load(0).load(0).eq().ret_value();
+        }),
+        Value::I(1)
+    );
+}
+
+#[test]
+fn float_negate_and_conversions() {
+    assert_eq!(
+        eval(|b| {
+            b.const_f(2.5).fneg().f2i().ret_value();
+        }),
+        Value::I(-2)
+    );
+    assert_eq!(
+        eval(|b| {
+            b.const_i(3).i2f().const_f(0.5).fadd().f2i().ret_value();
+        }),
+        Value::I(3)
+    );
+}
+
+fn busy_program(iters: i64) -> vmprobe_bytecode::Program {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 2, move |b| {
+        b.const_i(0).store(0);
+        b.for_range(1, 0, iters, |b| {
+            b.load(0).load(1).add().store(0);
+        });
+        b.load(0).ret_value();
+    });
+    p.finish(main).unwrap()
+}
+
+#[test]
+fn scheduler_quanta_fire_on_long_runs() {
+    // A multi-millisecond run must cross several 1 ms quanta, and the
+    // scheduler's port writes appear in the report.
+    let out = Vm::new(
+        busy_program(3_000_000),
+        VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20),
+    )
+    .run()
+    .unwrap();
+    assert!(out.vm.quanta >= 3, "quanta: {}", out.vm.quanta);
+    assert!(out.report.component(ComponentId::Scheduler).is_some());
+    assert!(out.vm.controller_activations >= 1);
+}
+
+#[test]
+fn dvfs_slows_execution_and_cuts_power() {
+    let nominal = Vm::new(
+        busy_program(1_000_000),
+        VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20),
+    )
+    .run()
+    .unwrap();
+    let low_point = *DvfsPoint::ladder(vmprobe_platform::PlatformKind::PentiumM)
+        .last()
+        .unwrap();
+    let scaled = Vm::new(
+        busy_program(1_000_000),
+        VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20).dvfs(low_point),
+    )
+    .run()
+    .unwrap();
+
+    assert_eq!(
+        nominal.result, scaled.result,
+        "DVFS must not change results"
+    );
+    let slow = scaled.duration.seconds() / nominal.duration.seconds();
+    assert!(
+        slow > 1.5 && slow < 3.2,
+        "600MHz should run ~2.7x slower on compute-bound code, got {slow:.2}x"
+    );
+    let p_nom = nominal.report.cpu_energy.joules() / nominal.duration.seconds();
+    let p_low = scaled.report.cpu_energy.joules() / scaled.duration.seconds();
+    assert!(
+        p_low < 0.45 * p_nom,
+        "power should fall superlinearly: {p_low:.2} vs {p_nom:.2} W"
+    );
+}
+
+#[test]
+fn nursery_override_changes_collection_mix() {
+    // A churny program: tiny nursery => many more minor collections.
+    let mut p = ProgramBuilder::new();
+    let node = p.class("N").field("next", Ty::Ref).build();
+    let main = p.method(node, "main", 0, 2, |b| {
+        b.for_range(0, 0, 20_000, |b| {
+            b.new_obj(node).store(1);
+        });
+        b.ret();
+    });
+    let program = p.finish(main).unwrap();
+
+    let default_run = Vm::new(
+        program.clone(),
+        VmConfig::jikes(CollectorKind::GenCopy, 1 << 20),
+    )
+    .run()
+    .unwrap();
+    let tiny = Vm::new(
+        program,
+        VmConfig::jikes(CollectorKind::GenCopy, 1 << 20).nursery_bytes(16 << 10),
+    )
+    .run()
+    .unwrap();
+    assert!(
+        tiny.gc.minor_collections > 2 * default_run.gc.minor_collections,
+        "tiny nursery should multiply minors: {} vs {}",
+        tiny.gc.minor_collections,
+        default_run.gc.minor_collections
+    );
+}
+
+#[test]
+fn io_port_writes_are_counted_as_perturbation() {
+    // Every component transition costs a register write; a run with GC and
+    // compilation has many.
+    let out = Vm::new(
+        busy_program(200_000),
+        VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20),
+    )
+    .run()
+    .unwrap();
+    // At least: boot set_base + compile enter/exit pairs + scheduler.
+    assert!(out.vm.quanta > 0 || out.vm.calls > 0);
+    assert!(out.compiler.baseline_compiles >= 1);
+}

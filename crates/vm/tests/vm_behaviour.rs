@@ -1,0 +1,333 @@
+//! Behavioural tests for the runtime: correctness of execution, GC safety
+//! under mutator load, adaptive compilation, and component attribution.
+
+use vmprobe_bytecode::{ArrKind, MathFn, Program, ProgramBuilder, Ty};
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::ComponentId;
+use vmprobe_vm::{Personality, Value, Vm, VmConfig, VmError};
+
+fn run_jikes(program: Program, collector: CollectorKind, heap: u64) -> vmprobe_vm::RunOutcome {
+    Vm::new(program, VmConfig::jikes(collector, heap))
+        .run()
+        .expect("run succeeds")
+}
+
+#[test]
+fn computes_fibonacci_recursively() {
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("Fib").build();
+    let fib = p.declare(cls, "fib", 1, 0, true);
+    p.define(fib, |b| {
+        let rec = b.label();
+        b.load(0).const_i(2).ge().br_true(rec);
+        b.load(0).ret_value();
+        b.bind(rec);
+        b.load(0).const_i(1).sub().call(fib);
+        b.load(0).const_i(2).sub().call(fib);
+        b.add().ret_value();
+    });
+    let main = p.method(cls, "main", 0, 0, |b| {
+        b.const_i(15).call(fib).ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let out = run_jikes(program, CollectorKind::SemiSpace, 1 << 20);
+    assert_eq!(out.result, Some(Value::I(610)));
+    assert!(
+        out.vm.calls > 600,
+        "recursive calls counted: {}",
+        out.vm.calls
+    );
+}
+
+#[test]
+fn float_kernel_produces_expected_value() {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 2, |b| {
+        b.const_f(0.0).store(0);
+        b.for_range(1, 1, 100, |b| {
+            b.load(0).load(1).i2f().math(MathFn::Sqrt).fadd().store(0);
+        });
+        b.load(0).f2i().ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let out = run_jikes(program, CollectorKind::MarkSweep, 1 << 20);
+    // sum of sqrt(1..99) ~= 661.46
+    assert_eq!(out.result, Some(Value::I(661)));
+}
+
+/// A list-churning workload: builds linked lists, keeps one in a static
+/// root, drops the rest — forcing collections under every plan.
+fn churn_program(nodes_per_list: i64, lists: i64) -> Program {
+    let mut p = ProgramBuilder::new();
+    let node = p
+        .class("Node")
+        .field("next", Ty::Ref)
+        .field("val", Ty::Int)
+        .build();
+    let keeper = p.static_slot("keeper", Ty::Ref);
+    let build_list = p.method(node, "build_list", 0, 2, |b| {
+        b.null().store(0);
+        b.for_range(1, 0, nodes_per_list, |b| {
+            // n = new Node; n.next = head; n.val = i; head = n
+            b.new_obj(node).dup().dup();
+            b.load(0).put_field(0); // n.next = head
+            b.load(1).put_field(1); // n.val = i
+            b.store(0); // head = n
+        });
+        b.load(0).ret_value();
+    });
+    let main = p.method(node, "main", 0, 1, |b| {
+        b.for_range(0, 0, lists, |b| {
+            b.call(build_list).put_static(keeper);
+        });
+        b.get_static(keeper).is_null().ret_value();
+    });
+    p.finish(main).unwrap()
+}
+
+#[test]
+fn churn_forces_collections_on_every_plan() {
+    for kind in [
+        CollectorKind::SemiSpace,
+        CollectorKind::MarkSweep,
+        CollectorKind::GenCopy,
+        CollectorKind::GenMs,
+        CollectorKind::KaffeIncremental,
+    ] {
+        // ~40 lists x 1500 nodes x 32B = 1.9 MB allocated into a 384 KB
+        // heap (big enough that even GenCopy's halved mature space can
+        // host the keeper list plus the list under construction).
+        let program = churn_program(1500, 40);
+        let cfg = match kind {
+            CollectorKind::KaffeIncremental => VmConfig::kaffe(384 << 10),
+            k => VmConfig::jikes(k, 384 << 10),
+        };
+        let out = Vm::new(program, cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(
+            out.result,
+            Some(Value::I(0)),
+            "{kind}: keeper list survived"
+        );
+        let gc_activity = out.gc.collections + out.gc.increments;
+        assert!(gc_activity > 0, "{kind}: expected GC activity");
+        assert!(out.total_alloc_bytes > 3 << 19, "{kind}: alloc volume");
+        assert!(
+            out.live_bytes_end < 384 << 10,
+            "{kind}: live set bounded by heap"
+        );
+    }
+}
+
+#[test]
+fn gc_time_is_attributed_to_the_gc_component() {
+    let program = churn_program(2000, 60);
+    let out = run_jikes(program, CollectorKind::SemiSpace, 256 << 10);
+    let gc = out
+        .report
+        .component(ComponentId::Gc)
+        .expect("GC ran and was sampled");
+    assert!(gc.energy.joules() > 0.0);
+    assert!(out.report.energy_fraction(ComponentId::Gc) > 0.01);
+    // Application still dominates or at least appears.
+    assert!(out.report.energy_fraction(ComponentId::Application) > 0.1);
+}
+
+#[test]
+fn generational_plans_pay_write_barriers() {
+    let program = churn_program(1000, 20);
+    let out = run_jikes(program, CollectorKind::GenCopy, 512 << 10);
+    assert!(
+        out.gc.barrier_stores > 10_000,
+        "barriers: {}",
+        out.gc.barrier_stores
+    );
+    assert!(out.gc.minor_collections > 0);
+}
+
+#[test]
+fn hot_methods_get_optimized_and_speed_up() {
+    // A hot leaf method called many times: Jikes should opt-compile it.
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("Hot").build();
+    let kernel = p.method(cls, "kernel", 1, 1, |b| {
+        b.const_i(0).store(1); // hmm arg is local0, acc local1
+        b.load(0);
+        b.for_range(1, 0, 50, |b| {
+            b.const_i(3).add();
+        });
+        b.ret_value();
+    });
+    let main = p.method(cls, "main", 0, 2, |b| {
+        b.const_i(0).store(0);
+        b.for_range(1, 0, 30_000, |b| {
+            b.load(0).call(kernel).store(0);
+        });
+        b.load(0).ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let out = Vm::new(
+        program,
+        VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).opt_threshold(2_000),
+    )
+    .run()
+    .unwrap();
+    assert!(
+        out.compiler.opt_compiles >= 1,
+        "hot kernel should be opt-compiled"
+    );
+    assert!(out.vm.controller_activations > 0);
+    let opt = out.report.component(ComponentId::OptCompiler);
+    assert!(opt.is_some(), "opt compiler should appear in the report");
+}
+
+#[test]
+fn kaffe_uses_jit_and_its_own_collector() {
+    let program = churn_program(500, 10);
+    let cfg = VmConfig::kaffe(512 << 10);
+    assert_eq!(cfg.personality, Personality::Kaffe);
+    let out = Vm::new(program, cfg).run().unwrap();
+    assert!(out.compiler.jit_compiles > 0);
+    assert_eq!(out.compiler.baseline_compiles, 0);
+    assert_eq!(out.compiler.opt_compiles, 0);
+}
+
+#[test]
+fn out_of_memory_is_reported_not_hung() {
+    // Keep everything live via a static array: 64 KB heap cannot hold it.
+    let mut p = ProgramBuilder::new();
+    let node = p.class("Node").field("next", Ty::Ref).build();
+    let root = p.static_slot("root", Ty::Ref);
+    let main = p.method(node, "main", 0, 1, |b| {
+        b.for_range(0, 0, 100_000, |b| {
+            b.new_obj(node).dup();
+            b.get_static(root).put_field(0);
+            b.put_static(root);
+        });
+        b.ret();
+    });
+    let program = p.finish(main).unwrap();
+    let err = Vm::new(program, VmConfig::jikes(CollectorKind::SemiSpace, 64 << 10))
+        .run()
+        .expect_err("must exhaust the heap");
+    assert!(matches!(err, VmError::OutOfMemory { .. }), "got {err}");
+}
+
+#[test]
+fn null_dereference_faults_cleanly() {
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("C").field("f", Ty::Int).build();
+    let main = p.method(cls, "main", 0, 0, |b| {
+        b.null().get_field(0).ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let err = Vm::new(program, VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20))
+        .run()
+        .expect_err("null deref");
+    assert!(matches!(err, VmError::NullDereference { .. }));
+}
+
+#[test]
+fn runaway_recursion_overflows_cleanly() {
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("R").build();
+    let f = p.declare(cls, "f", 0, 0, false);
+    p.define(f, |b| {
+        b.call(f).ret();
+    });
+    let program = p.finish(f).unwrap();
+    let err = Vm::new(program, VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20))
+        .run()
+        .expect_err("stack overflow");
+    assert!(matches!(err, VmError::StackOverflow { .. }));
+}
+
+#[test]
+fn arrays_round_trip_all_kinds() {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 3, |b| {
+        // int array
+        b.const_i(10).new_arr(ArrKind::Int).store(0);
+        b.load(0).const_i(3).const_i(42).astore();
+        // float array
+        b.const_i(4).new_arr(ArrKind::Float).store(1);
+        b.load(1).const_i(0).const_f(1.5).astore();
+        // ref array holding the int array
+        b.const_i(2).new_arr(ArrKind::Ref).store(2);
+        b.load(2).const_i(1).load(0).astore();
+        // read back: arr2[1][3] + (int)farr[0] + len(arr0)
+        b.load(2).const_i(1).aload().const_i(3).aload();
+        b.load(1).const_i(0).aload().f2i().add();
+        b.load(0).arr_len().add();
+        b.ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let out = run_jikes(program, CollectorKind::GenMs, 1 << 20);
+    assert_eq!(out.result, Some(Value::I(42 + 1 + 10)));
+}
+
+#[test]
+fn array_bounds_are_enforced() {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 1, |b| {
+        b.const_i(4).new_arr(ArrKind::Int).store(0);
+        b.load(0).const_i(9).aload().ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let err = Vm::new(program, VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20))
+        .run()
+        .expect_err("out of bounds");
+    assert!(matches!(err, VmError::IndexOutOfBounds { index: 9, .. }));
+}
+
+#[test]
+fn class_loading_costs_appear_for_kaffe_but_not_boot_image_jikes() {
+    // A program over many *system* classes: Jikes boots them for free,
+    // Kaffe loads each lazily.
+    let mut p = ProgramBuilder::new();
+    let mut classes = Vec::new();
+    for i in 0..30 {
+        classes.push(
+            p.class(format!("java/util/Sys{i}"))
+                .system(true)
+                .field("x", Ty::Int)
+                .classfile_padding(2048)
+                .build(),
+        );
+    }
+    let app = p.class("Main").build();
+    let main = p.method(app, "main", 0, 1, |b| {
+        for &c in &classes {
+            b.new_obj(c).store(0);
+        }
+        b.ret();
+    });
+    let program = p.finish(main).unwrap();
+
+    let jikes = Vm::new(
+        program.clone(),
+        VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20),
+    )
+    .run()
+    .unwrap();
+    let kaffe = Vm::new(program, VmConfig::kaffe(1 << 20)).run().unwrap();
+    assert_eq!(jikes.vm.classes_loaded, 1, "only Main loads at runtime");
+    assert_eq!(kaffe.vm.classes_loaded, 31, "Kaffe loads everything lazily");
+    assert!(kaffe.vm.classfile_bytes_loaded > jikes.vm.classfile_bytes_loaded);
+}
+
+#[test]
+fn determinism_same_config_same_energy() {
+    let a = run_jikes(churn_program(800, 15), CollectorKind::GenCopy, 512 << 10);
+    let b = run_jikes(churn_program(800, 15), CollectorKind::GenCopy, 512 << 10);
+    assert_eq!(a.vm.bytecodes, b.vm.bytecodes);
+    assert_eq!(
+        a.duration.seconds().to_bits(),
+        b.duration.seconds().to_bits()
+    );
+    assert_eq!(
+        a.report.total_energy.joules().to_bits(),
+        b.report.total_energy.joules().to_bits()
+    );
+}

@@ -1,0 +1,146 @@
+//! The five DaCapo (beta051009) applications the paper uses — a suite of
+//! memory-intensive programs "typically used in the study of Java garbage
+//! collectors" (paper Section V), with default data sets.
+
+use crate::{Benchmark, Blueprint, Suite};
+
+/// The DaCapo benchmarks in the paper's order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "antlr",
+            suite: Suite::DaCapo,
+            description: "A grammar parser generator",
+            blueprint: Blueprint {
+                phases: 8,
+                lists_per_phase: 42,
+                nodes_per_list: 700,
+                trees_per_phase: 2,
+                tree_depth: 9, // grammar ASTs
+                live_records: 7_000,
+                record_payload_words: 4,
+                queries_per_phase: 3_000,
+                query_walk: 2,
+                int_iters: 12_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 5,
+                app_classes: 60,
+                class_padding: 900,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "fop",
+            suite: Suite::DaCapo,
+            description: "Application that generates a PDF file from an XSL-FO file",
+            blueprint: Blueprint {
+                phases: 5,
+                lists_per_phase: 30,
+                nodes_per_list: 500,
+                trees_per_phase: 2,
+                tree_depth: 9, // formatting-object trees
+                live_records: 6_000,
+                record_payload_words: 8,
+                queries_per_phase: 2_000,
+                query_walk: 3,
+                int_iters: 8_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 3,
+                // fop's defining trait: a huge class surface with heavy
+                // class files — the paper's 24% class-loader energy peak.
+                app_classes: 190,
+                class_padding: 3_600,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "jython",
+            suite: Suite::DaCapo,
+            description: "Python program interpreter",
+            blueprint: Blueprint {
+                phases: 10,
+                lists_per_phase: 70,
+                nodes_per_list: 700, // interpreter frames and boxed values
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 6_500,
+                record_payload_words: 4,
+                queries_per_phase: 5_000,
+                query_walk: 2,
+                int_iters: 20_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 8,
+                app_classes: 70,
+                class_padding: 800,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "pmd",
+            suite: Suite::DaCapo,
+            description: "An analyzer for Java classes",
+            blueprint: Blueprint {
+                phases: 9,
+                lists_per_phase: 48,
+                nodes_per_list: 800,
+                trees_per_phase: 3,
+                tree_depth: 10, // analyzed-source ASTs
+                live_records: 7_000,
+                record_payload_words: 8,
+                queries_per_phase: 6_000,
+                query_walk: 4,
+                int_iters: 8_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 4,
+                app_classes: 55,
+                class_padding: 900,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "ps",
+            suite: Suite::DaCapo,
+            description: "A Postscript file reader and interpreter",
+            blueprint: Blueprint {
+                phases: 8,
+                lists_per_phase: 34,
+                nodes_per_list: 600,
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 5_000,
+                record_payload_words: 4,
+                queries_per_phase: 4_000,
+                query_walk: 2,
+                int_iters: 30_000, // rasterization inner loops
+                fp_iters: 6_000,
+                math_every: 0,
+                hot_kernels: 3,
+                app_classes: 30,
+                class_padding: 700,
+                work_array_words: 49_152,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_benchmarks_with_dacapo_character() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 5);
+        // fop carries the class-loading crown.
+        let fop = &b[1].blueprint;
+        for other in &b {
+            let weight =
+                u64::from(other.blueprint.app_classes) * u64::from(other.blueprint.class_padding);
+            assert!(u64::from(fop.app_classes) * u64::from(fop.class_padding) >= weight);
+        }
+    }
+}

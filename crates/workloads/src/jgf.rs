@@ -1,0 +1,119 @@
+//! The four sequential Java Grande Forum benchmarks (data set A) the paper
+//! uses: numerically intensive kernels with comparatively small, long-lived
+//! data and heavy floating-point loops.
+
+use crate::{Benchmark, Blueprint, Suite};
+
+/// The Java Grande benchmarks in the paper's order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "euler",
+            suite: Suite::JavaGrande,
+            description: "Benchmark on computational fluid dynamics",
+            blueprint: Blueprint {
+                phases: 10,
+                lists_per_phase: 10,
+                nodes_per_list: 500, // per-iteration temporaries
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 2_600, // flow-field state arrays (~0.9 MiB)
+                record_payload_words: 28,
+                queries_per_phase: 3_500,
+                query_walk: 12,
+                int_iters: 4_000,
+                fp_iters: 60_000,
+                math_every: 59,
+                hot_kernels: 4,
+                app_classes: 14,
+                class_padding: 400,
+                work_array_words: 49_152,
+            },
+        },
+        Benchmark {
+            name: "moldyn",
+            suite: Suite::JavaGrande,
+            description: "A molecular dynamic simulator",
+            blueprint: Blueprint {
+                phases: 12,
+                lists_per_phase: 1,
+                nodes_per_list: 200,
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 800, // particle state
+                record_payload_words: 12,
+                queries_per_phase: 1_500,
+                query_walk: 8,
+                int_iters: 0,
+                fp_iters: 110_000, // pairwise-force loops dominate
+                math_every: 41,
+                hot_kernels: 5,
+                app_classes: 12,
+                class_padding: 400,
+                work_array_words: 32_768,
+            },
+        },
+        Benchmark {
+            name: "raytracer",
+            suite: Suite::JavaGrande,
+            description: "A 3D raytracer",
+            blueprint: Blueprint {
+                phases: 10,
+                lists_per_phase: 42,
+                nodes_per_list: 600, // per-ray vector garbage
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 2_000,
+                record_payload_words: 6,
+                queries_per_phase: 2_000,
+                query_walk: 3,
+                int_iters: 0,
+                fp_iters: 55_000,
+                math_every: 37,
+                hot_kernels: 6,
+                app_classes: 16,
+                class_padding: 500,
+                work_array_words: 32_768,
+            },
+        },
+        Benchmark {
+            name: "search",
+            suite: Suite::JavaGrande,
+            description: "An Alpha-Beta prune search",
+            blueprint: Blueprint {
+                phases: 14,
+                lists_per_phase: 15,
+                nodes_per_list: 700,
+                trees_per_phase: 4,
+                tree_depth: 11, // game trees, built and pruned
+                live_records: 1_200,
+                record_payload_words: 2,
+                queries_per_phase: 2_500,
+                query_walk: 2,
+                int_iters: 35_000, // board evaluation is integer work
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 3,
+                app_classes: 10,
+                class_padding: 400,
+                work_array_words: 40_960,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_fp_leaning_kernels() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 4);
+        // Three of four are FP-dominated; search is the integer outlier.
+        let fp_heavy = b.iter().filter(|x| x.blueprint.fp_iters > 0).count();
+        assert_eq!(fp_heavy, 3);
+        let search = &b[3].blueprint;
+        assert!(search.trees_per_phase > 0 && search.fp_iters == 0);
+    }
+}

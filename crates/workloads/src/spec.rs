@@ -1,0 +1,202 @@
+//! The seven SpecJVM98 applications (paper Figure 5, run with `-s100`).
+//!
+//! Each blueprint encodes the published character of its namesake:
+//! `_201_compress` is an integer kernel with little allocation,
+//! `_209_db` holds a large memory-resident store it pointer-chases,
+//! `_213_javac` is the allocation monster (the paper's 60 %-JVM-energy
+//! case at 32 MB), `_222_mpegaudio` is FP-dense with many hot methods,
+//! and so on. Counts are at the suite's 1/8 simulation scale.
+
+use crate::{Benchmark, Blueprint, Suite};
+
+/// The SpecJVM98 benchmarks in the paper's order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "_201_compress",
+            suite: Suite::SpecJvm98,
+            description: "A modified Lempel-Ziv compression algorithm",
+            blueprint: Blueprint {
+                phases: 6,
+                lists_per_phase: 2,
+                nodes_per_list: 600,
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 900,
+                record_payload_words: 8,
+                queries_per_phase: 1_500,
+                query_walk: 4,
+                int_iters: 160_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 2,
+                app_classes: 12,
+                class_padding: 400,
+                work_array_words: 49_152, // 384 KB compression tables
+            },
+        },
+        Benchmark {
+            name: "_202_jess",
+            suite: Suite::SpecJvm98,
+            description: "A Java Expert Shell System",
+            blueprint: Blueprint {
+                phases: 10,
+                lists_per_phase: 56,
+                nodes_per_list: 800,
+                trees_per_phase: 2,
+                tree_depth: 8,
+                live_records: 8_000,
+                record_payload_words: 4,
+                queries_per_phase: 3_000,
+                query_walk: 2,
+                int_iters: 12_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 4,
+                app_classes: 30,
+                class_padding: 600,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "_209_db",
+            suite: Suite::SpecJvm98,
+            description: "Database application working on a memory-resident database",
+            blueprint: Blueprint {
+                phases: 8,
+                lists_per_phase: 16,
+                nodes_per_list: 700,
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 6_000, // ~1.1 MiB live: the memory-resident DB
+                record_payload_words: 16,
+                queries_per_phase: 9_000, // chase-dominated
+                query_walk: 10,
+                int_iters: 6_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 2,
+                app_classes: 16,
+                class_padding: 500,
+                work_array_words: 32_768,
+            },
+        },
+        Benchmark {
+            name: "_213_javac",
+            suite: Suite::SpecJvm98,
+            description: "A Java compiler based on SDK 1.02",
+            blueprint: Blueprint {
+                phases: 12,
+                lists_per_phase: 34,
+                nodes_per_list: 900,
+                trees_per_phase: 3,
+                tree_depth: 10, // per-file ASTs, built and dropped
+                live_records: 7_500,
+                record_payload_words: 8,
+                queries_per_phase: 4_000,
+                query_walk: 3,
+                int_iters: 10_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 6,
+                app_classes: 42,
+                class_padding: 800,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "_222_mpegaudio",
+            suite: Suite::SpecJvm98,
+            description: "Audio decoder based on the ISO MPEG Layer-3 standard",
+            blueprint: Blueprint {
+                phases: 8,
+                lists_per_phase: 2,
+                nodes_per_list: 300,
+                trees_per_phase: 0,
+                tree_depth: 0,
+                live_records: 500,
+                record_payload_words: 8,
+                queries_per_phase: 800,
+                query_walk: 2,
+                int_iters: 12_000,
+                fp_iters: 70_000, // FP decode loops
+                math_every: 97,
+                hot_kernels: 8, // many hot filter methods: opt-compiler peak
+                app_classes: 24,
+                class_padding: 500,
+                work_array_words: 49_152,
+            },
+        },
+        Benchmark {
+            name: "_227_mtrt",
+            suite: Suite::SpecJvm98,
+            description: "Raytracing application",
+            blueprint: Blueprint {
+                phases: 10,
+                lists_per_phase: 45,
+                nodes_per_list: 550, // short-lived ray/vector objects
+                trees_per_phase: 1,
+                tree_depth: 8, // scene BSP
+                live_records: 7_000,
+                record_payload_words: 8,
+                queries_per_phase: 2_500,
+                query_walk: 3,
+                int_iters: 4_000,
+                fp_iters: 35_000,
+                math_every: 31,
+                hot_kernels: 6,
+                app_classes: 28,
+                class_padding: 600,
+                work_array_words: 40_960,
+            },
+        },
+        Benchmark {
+            name: "_228_jack",
+            suite: Suite::SpecJvm98,
+            description: "A Java Parser generator",
+            blueprint: Blueprint {
+                phases: 16, // jack runs its input 16 times
+                lists_per_phase: 30,
+                nodes_per_list: 600,
+                trees_per_phase: 2,
+                tree_depth: 8,
+                live_records: 7_000,
+                record_payload_words: 4,
+                queries_per_phase: 2_500,
+                query_walk: 2,
+                int_iters: 14_000,
+                fp_iters: 0,
+                math_every: 0,
+                hot_kernels: 4,
+                app_classes: 26,
+                class_padding: 700,
+                work_array_words: 40_960,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_benchmarks_with_spec_character() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 7);
+        // compress is kernel-dominated, javac allocation-dominated.
+        let compress = &b[0].blueprint;
+        let javac = &b[3].blueprint;
+        assert!(javac.est_alloc_bytes() > 4 * compress.est_alloc_bytes());
+        // db owns the largest live set.
+        let db = &b[2].blueprint;
+        for other in &b {
+            if other.name != "_209_db" {
+                assert!(db.est_live_bytes() >= other.blueprint.est_live_bytes());
+            }
+        }
+        // mpegaudio is the FP + hot-method outlier.
+        let mpeg = &b[4].blueprint;
+        assert!(mpeg.fp_iters > 0 && mpeg.hot_kernels >= 8);
+    }
+}

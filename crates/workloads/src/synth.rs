@@ -1,0 +1,450 @@
+//! Shared bytecode generators: standard-library prelude, data-structure
+//! churn, record stores, pointer-chasing queries and compute kernels.
+//!
+//! Every benchmark program is assembled from these parts; blueprints (see
+//! [`crate::Blueprint`]) choose the mix and the sizes.
+
+use vmprobe_bytecode::{ArrKind, ClassId, MathFn, MethodBuilder, MethodId, ProgramBuilder, Ty};
+
+/// Linear congruential generator constants (Knuth's MMIX), used by the
+/// bytecode-level PRNG that drives query index selection deterministically.
+const LCG_A: i64 = 6364136223846793005;
+const LCG_C: i64 = 1442695040888963407;
+
+/// Handles to the standard-library prelude.
+#[derive(Debug, Clone)]
+pub struct StdLib {
+    /// Classes in the prelude (all marked `system`).
+    pub classes: Vec<ClassId>,
+    /// Call once at program start: touches the library classes the way a
+    /// real runtime resolves `java.lang.*` and the collections during
+    /// startup (free on a Jikes-style boot image; a storm of class-loader
+    /// calls on Kaffe).
+    pub init: MethodId,
+}
+
+/// Names of the modeled system classes (a representative slice of what a
+/// JVM resolves while booting a typical application).
+const STDLIB_CLASSES: [&str; 36] = [
+    "java/lang/Object",
+    "java/lang/Class",
+    "java/lang/String",
+    "java/lang/StringBuilder",
+    "java/lang/System",
+    "java/lang/Thread",
+    "java/lang/Throwable",
+    "java/lang/Exception",
+    "java/lang/Integer",
+    "java/lang/Long",
+    "java/lang/Float",
+    "java/lang/Double",
+    "java/lang/Character",
+    "java/lang/Boolean",
+    "java/lang/Math",
+    "java/lang/Runtime",
+    "java/lang/ClassLoader",
+    "java/lang/ref/Reference",
+    "java/util/ArrayList",
+    "java/util/HashMap",
+    "java/util/Hashtable",
+    "java/util/Vector",
+    "java/util/Iterator",
+    "java/util/Arrays",
+    "java/util/Properties",
+    "java/util/Enumeration",
+    "java/io/InputStream",
+    "java/io/OutputStream",
+    "java/io/PrintStream",
+    "java/io/File",
+    "java/io/BufferedReader",
+    "java/io/FileInputStream",
+    "java/net/URL",
+    "java/security/AccessController",
+    "java/util/zip/ZipFile",
+    "java/util/jar/JarFile",
+];
+
+/// Additional bootstrap classes resolved transitively by the named ones
+/// (a real JVM pulls in several hundred classes before `main` runs).
+const STDLIB_EXTRA: usize = 54;
+
+/// Declare the standard-library prelude: `padding` models the per-class
+/// class-file weight (constant pools, attributes) beyond fields and code.
+pub fn stdlib(p: &mut ProgramBuilder, padding: u32) -> StdLib {
+    let mut classes = Vec::with_capacity(STDLIB_CLASSES.len() + STDLIB_EXTRA);
+    for name in STDLIB_CLASSES {
+        classes.push(
+            p.class(name)
+                .system(true)
+                .field("a", Ty::Ref)
+                .field("b", Ty::Int)
+                .classfile_padding(padding)
+                .build(),
+        );
+    }
+    for i in 0..STDLIB_EXTRA {
+        classes.push(
+            p.class(format!("java/internal/Boot{i}"))
+                .system(true)
+                .field("a", Ty::Ref)
+                .classfile_padding(padding)
+                .build(),
+        );
+    }
+    // The init method instantiates each library class once (resolution +
+    // a small allocation), as class initializers do.
+    let holder = classes[0];
+    let class_list = classes.clone();
+    let init = p.method(holder, "bootstrap", 0, 1, move |b| {
+        for &c in &class_list {
+            b.new_obj(c).store(0);
+        }
+        b.ret();
+    });
+    StdLib { classes, init }
+}
+
+/// Declare the `Node` class used by list churn: `{next: Ref, val: Int}`.
+pub fn define_node(p: &mut ProgramBuilder) -> ClassId {
+    p.class("Node")
+        .field("next", Ty::Ref)
+        .field("val", Ty::Int)
+        .build()
+}
+
+/// Field indices of [`define_node`]'s class.
+pub const NODE_NEXT: u16 = 0;
+/// Node value field index.
+pub const NODE_VAL: u16 = 1;
+
+/// Declare the `Record` class used by long-lived stores:
+/// `{key: Int, val: Int, payload: Ref}`.
+pub fn define_record(p: &mut ProgramBuilder) -> ClassId {
+    p.class("Record")
+        .field("key", Ty::Int)
+        .field("val", Ty::Int)
+        .field("payload", Ty::Ref)
+        .build()
+}
+
+/// Record field indices.
+pub const REC_KEY: u16 = 0;
+/// Record value field index.
+pub const REC_VAL: u16 = 1;
+/// Record payload (array) field index.
+pub const REC_PAYLOAD: u16 = 2;
+
+/// Declare the `TreeNode` class: `{left: Ref, right: Ref, key: Int}`.
+pub fn define_tree(p: &mut ProgramBuilder) -> ClassId {
+    p.class("TreeNode")
+        .field("left", Ty::Ref)
+        .field("right", Ty::Ref)
+        .field("key", Ty::Int)
+        .build()
+}
+
+/// Emit `seed = seed * LCG_A + LCG_C` on local `seed`.
+fn lcg_step(b: &mut MethodBuilder, seed: u8) {
+    b.load(seed)
+        .const_i(LCG_A)
+        .mul()
+        .const_i(LCG_C)
+        .add()
+        .store(seed);
+}
+
+/// Emit `push((seed >>> 33) % modulo_local)` (non-negative index).
+fn lcg_index(b: &mut MethodBuilder, seed: u8, modulo_local: u8) {
+    b.load(seed)
+        .const_i(33)
+        .shr()
+        .const_i(0x7fff_ffff)
+        .band()
+        .load(modulo_local)
+        .rem();
+}
+
+/// `build_list(n) -> head`: allocate a linked list of `n` nodes (arg in
+/// local 0), threading `next` pointers through the write barrier.
+pub fn build_list_method(p: &mut ProgramBuilder, node: ClassId) -> MethodId {
+    // locals: 0 = n, 1 = i, 2 = head
+    p.method(node, "build_list", 1, 2, |b| {
+        b.null().store(2);
+        b.const_i(0).store(1);
+        b.loop_while(
+            |b| {
+                b.load(1).load(0).lt();
+            },
+            |b| {
+                // n = new Node; n.next = head; n.val = i; head = n
+                b.new_obj(node).dup().dup();
+                b.load(2).put_field(NODE_NEXT);
+                b.load(1).put_field(NODE_VAL);
+                b.store(2);
+                b.load(1).const_i(1).add().store(1);
+            },
+        );
+        b.load(2).ret_value();
+    })
+}
+
+/// `churn(lists, nodes)`: build and immediately drop `lists` linked lists
+/// of `nodes` nodes each — the short-lived object storm generational
+/// collectors feast on.
+pub fn churn_method(p: &mut ProgramBuilder, node: ClassId, build_list: MethodId) -> MethodId {
+    // locals: 0 = lists, 1 = nodes, 2 = i
+    p.method(node, "churn", 2, 1, move |b| {
+        b.const_i(0).store(2);
+        b.loop_while(
+            |b| {
+                b.load(2).load(0).lt();
+            },
+            |b| {
+                b.load(1).call(build_list).pop();
+                b.load(2).const_i(1).add().store(2);
+            },
+        );
+        b.ret();
+    })
+}
+
+/// `build_tree(depth) -> root`: recursive binary-tree construction
+/// (medium-lived data, dropped per phase).
+pub fn build_tree_method(p: &mut ProgramBuilder, tree: ClassId) -> MethodId {
+    let m = p.declare(tree, "build_tree", 1, 1, true);
+    p.define(m, move |b| {
+        let grow = b.label();
+        b.load(0).const_i(0).gt().br_true(grow);
+        b.null().ret_value();
+        b.bind(grow);
+        b.new_obj(tree).store(1);
+        b.load(1).load(0).put_field(2); // key = depth
+        b.load(1);
+        b.load(0).const_i(1).sub().call(m);
+        b.put_field(0); // left
+        b.load(1);
+        b.load(0).const_i(1).sub().call(m);
+        b.put_field(1); // right
+        b.load(1).ret_value();
+    });
+    m
+}
+
+/// `build_store(n, payload_words)`: create the long-lived record store — a
+/// static reference array of `n` records, each owning an int-array payload.
+/// This is the benchmark's *live set*.
+pub fn build_store_method(p: &mut ProgramBuilder, record: ClassId, store_static: u16) -> MethodId {
+    // locals: 0 = n, 1 = payload_words, 2 = i, 3 = rec
+    p.method(record, "build_store", 2, 2, move |b| {
+        b.load(0).new_arr(ArrKind::Ref).put_static(store_static);
+        b.const_i(0).store(2);
+        b.loop_while(
+            |b| {
+                b.load(2).load(0).lt();
+            },
+            |b| {
+                b.new_obj(record).store(3);
+                b.load(3).load(2).put_field(REC_KEY);
+                b.load(3).load(2).const_i(3).mul().put_field(REC_VAL);
+                b.load(3)
+                    .load(1)
+                    .new_arr(ArrKind::Int)
+                    .put_field(REC_PAYLOAD);
+                b.get_static(store_static).load(2).load(3).astore();
+                b.load(2).const_i(1).add().store(2);
+            },
+        );
+        b.ret();
+    })
+}
+
+/// `query(count, walk)`: probe the record store at pseudo-random indices,
+/// reading each record's fields and walking `walk` words of its payload —
+/// the pointer-chasing access pattern whose locality copying collectors
+/// improve (the paper's `_209_db` effect).
+pub fn query_method(
+    p: &mut ProgramBuilder,
+    record: ClassId,
+    store_static: u16,
+    seed_static: u16,
+    checksum_static: u16,
+) -> MethodId {
+    let _ = record;
+    // locals: 0 = count, 1 = walk, 2 = i, 3 = seed, 4 = len, 5 = rec, 6 = j
+    p.function("query", 2, 5, move |b| {
+        b.get_static(seed_static).store(3);
+        b.get_static(store_static).arr_len().store(4);
+        b.const_i(0).store(2);
+        b.loop_while(
+            |b| {
+                b.load(2).load(0).lt();
+            },
+            |b| {
+                lcg_step(b, 3);
+                // rec = store[index]
+                b.get_static(store_static);
+                lcg_index(b, 3, 4);
+                b.aload().store(5);
+                // checksum += rec.key + rec.val
+                b.get_static(checksum_static);
+                b.load(5).get_field(REC_KEY).add();
+                b.load(5).get_field(REC_VAL).add();
+                b.put_static(checksum_static);
+                // walk the payload
+                b.const_i(0).store(6);
+                b.loop_while(
+                    |b| {
+                        b.load(6).load(1).lt();
+                    },
+                    |b| {
+                        b.get_static(checksum_static);
+                        b.load(5).get_field(REC_PAYLOAD).load(6).aload().add();
+                        b.put_static(checksum_static);
+                        b.load(6).const_i(1).add().store(6);
+                    },
+                );
+                b.load(2).const_i(1).add().store(2);
+            },
+        );
+        b.load(3).put_static(seed_static);
+        b.ret();
+    })
+}
+
+/// `int_kernel(iters)`: a compress-style integer loop over a static work
+/// array — shifts, masks, dependent loads and stores.
+pub fn int_kernel_method(
+    p: &mut ProgramBuilder,
+    name: &str,
+    work_static: u16,
+    checksum_static: u16,
+) -> MethodId {
+    // locals: 0 = iters, 1 = i, 2 = acc, 3 = len
+    p.function(name, 1, 3, move |b| {
+        b.get_static(work_static).arr_len().store(3);
+        b.const_i(0).store(2);
+        b.const_i(0).store(1);
+        b.loop_while(
+            |b| {
+                b.load(1).load(0).lt();
+            },
+            |b| {
+                // acc = ((acc << 1) ^ work[i % len]) + i
+                b.load(2).const_i(1).shl();
+                b.get_static(work_static).load(1).load(3).rem().aload();
+                b.bxor().load(1).add().store(2);
+                // work[(i*7 + 3) % len] = acc & 0xffff
+                b.get_static(work_static);
+                b.load(1).const_i(7).mul().const_i(3).add().load(3).rem();
+                b.load(2).const_i(0xffff).band();
+                b.astore();
+                b.load(1).const_i(1).add().store(1);
+            },
+        );
+        b.get_static(checksum_static)
+            .load(2)
+            .add()
+            .put_static(checksum_static);
+        b.ret();
+    })
+}
+
+/// `fp_kernel(iters)`: a floating-point loop (mpegaudio / Java Grande
+/// style); every `math_every` iterations it calls a transcendental
+/// intrinsic (0 = never).
+pub fn fp_kernel_method(
+    p: &mut ProgramBuilder,
+    name: &str,
+    math_every: u32,
+    checksum_static: u16,
+) -> MethodId {
+    // locals: 0 = iters, 1 = i, 2 = x, 3 = y
+    p.function(name, 1, 3, move |b| {
+        b.const_f(1.000001).store(2);
+        b.const_f(0.5).store(3);
+        b.const_i(0).store(1);
+        b.loop_while(
+            |b| {
+                b.load(1).load(0).lt();
+            },
+            |b| {
+                // x = x * 1.0000001 + y * 0.999
+                b.load(2).const_f(1.000_000_1).fmul();
+                b.load(3).const_f(0.999).fmul().fadd().store(2);
+                // y = y + x * 1e-7
+                b.load(3).load(2).const_f(1e-7).fmul().fadd().store(3);
+                if math_every > 0 {
+                    b.load(1)
+                        .const_i(i64::from(math_every))
+                        .rem()
+                        .const_i(0)
+                        .eq();
+                    b.if_then(|b| {
+                        b.load(2).load(3).fadd().math(MathFn::Sqrt).store(2);
+                    });
+                }
+                b.load(1).const_i(1).add().store(1);
+            },
+        );
+        b.get_static(checksum_static)
+            .load(2)
+            .f2i()
+            .add()
+            .put_static(checksum_static);
+        b.ret();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprobe_bytecode::ProgramBuilder;
+
+    #[test]
+    fn stdlib_declares_system_classes() {
+        let mut p = ProgramBuilder::new();
+        let lib = stdlib(&mut p, 1024);
+        assert_eq!(lib.classes.len(), 36 + STDLIB_EXTRA);
+        let main = p.function("main", 0, 0, move |b| {
+            b.call(lib.init).ret();
+        });
+        let prog = p.finish(main).unwrap();
+        assert!(prog.classes().iter().filter(|c| c.is_system()).count() >= 36);
+    }
+
+    #[test]
+    fn all_generators_verify_together() {
+        let mut p = ProgramBuilder::new();
+        let _lib = stdlib(&mut p, 256);
+        let node = define_node(&mut p);
+        let record = define_record(&mut p);
+        let tree = define_tree(&mut p);
+        let store = p.static_slot("store", Ty::Ref);
+        let seed = p.static_slot("seed", Ty::Int);
+        let chk = p.static_slot("chk", Ty::Int);
+        let work = p.static_slot("work", Ty::Ref);
+
+        let bl = build_list_method(&mut p, node);
+        let churn = churn_method(&mut p, node, bl);
+        let bt = build_tree_method(&mut p, tree);
+        let bs = build_store_method(&mut p, record, store);
+        let q = query_method(&mut p, record, store, seed, chk);
+        let ik = int_kernel_method(&mut p, "int_kernel", work, chk);
+        let fk = fp_kernel_method(&mut p, "fp_kernel", 16, chk);
+
+        let main = p.function("main", 0, 0, move |b| {
+            b.const_i(64)
+                .new_arr(vmprobe_bytecode::ArrKind::Int)
+                .put_static(work);
+            b.const_i(1).put_static(seed);
+            b.const_i(50).const_i(4).call(bs);
+            b.const_i(3).const_i(20).call(churn);
+            b.const_i(6).call(bt).pop();
+            b.const_i(30).const_i(2).call(q);
+            b.const_i(100).call(ik);
+            b.const_i(100).call(fk);
+            b.get_static(chk).ret_value();
+        });
+        assert!(p.finish(main).is_ok());
+    }
+}

@@ -1,0 +1,101 @@
+//! Execution-level tests for the benchmark programs: the generated
+//! bytecode must run, produce stable checksums, and exhibit the resource
+//! character its blueprint declares.
+
+use vmprobe_bytecode::Program;
+use vmprobe_heap::CollectorKind;
+use vmprobe_vm::{Vm, VmConfig};
+use vmprobe_workloads::{all_benchmarks, benchmark, InputScale, Suite};
+
+fn run(program: Program) -> vmprobe_vm::RunOutcome {
+    Vm::new(program, VmConfig::jikes(CollectorKind::GenMs, 2 << 20))
+        .run()
+        .expect("benchmark runs")
+}
+
+#[test]
+fn checksums_are_stable_across_rebuilds() {
+    for name in ["_201_compress", "fop", "moldyn"] {
+        let b = benchmark(name).unwrap();
+        let a = run(b.build(InputScale::Reduced)).result;
+        let c = run(b.build(InputScale::Reduced)).result;
+        assert_eq!(a, c, "{name}: rebuilt program changed its checksum");
+        assert!(a.is_some(), "{name}: benchmarks return a checksum");
+    }
+}
+
+#[test]
+fn fp_benchmarks_execute_fp_work_and_int_benchmarks_do_not() {
+    let moldyn = run(benchmark("moldyn").unwrap().build(InputScale::Reduced));
+    let compress = run(benchmark("_201_compress")
+        .unwrap()
+        .build(InputScale::Reduced));
+    // moldyn is FP-dominated; compress's FP ops are incidental (a few from
+    // shared machinery), orders of magnitude fewer.
+    let moldyn_time = moldyn.duration.seconds();
+    let compress_time = compress.duration.seconds();
+    assert!(moldyn_time > 0.0 && compress_time > 0.0);
+    // Both allocate, but compress's declared character is kernel-heavy.
+    assert!(
+        moldyn.vm.allocations < compress.vm.allocations * 50,
+        "sanity on allocation counts"
+    );
+}
+
+#[test]
+fn allocation_volumes_scale_with_the_blueprint() {
+    let javac = run(benchmark("_213_javac").unwrap().build(InputScale::Reduced));
+    let mpeg = run(benchmark("_222_mpegaudio")
+        .unwrap()
+        .build(InputScale::Reduced));
+    assert!(
+        javac.total_alloc_bytes > 2 * mpeg.total_alloc_bytes,
+        "javac ({}) must out-allocate mpegaudio ({})",
+        javac.total_alloc_bytes,
+        mpeg.total_alloc_bytes
+    );
+}
+
+#[test]
+fn reduced_scale_shrinks_work_substantially() {
+    let b = benchmark("_228_jack").unwrap();
+    let full = run(b.build(InputScale::Full));
+    let reduced = run(b.build(InputScale::Reduced));
+    assert!(
+        full.vm.bytecodes > 3 * reduced.vm.bytecodes,
+        "s100 ({}) should dwarf s10 ({})",
+        full.vm.bytecodes,
+        reduced.vm.bytecodes
+    );
+}
+
+#[test]
+fn suite_membership_matches_character() {
+    // Java Grande kernels carry FP loops; three of four declare them.
+    let jgf = all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == Suite::JavaGrande)
+        .collect::<Vec<_>>();
+    assert_eq!(jgf.iter().filter(|b| b.blueprint.fp_iters > 0).count(), 3);
+    // DaCapo is the memory-intensive suite: every member churns lists.
+    for b in all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == Suite::DaCapo)
+    {
+        assert!(
+            b.blueprint.lists_per_phase > 0,
+            "{}: DaCapo must churn",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn class_surface_drives_classfile_footprint() {
+    let fop = benchmark("fop").unwrap().build(InputScale::Full);
+    let moldyn = benchmark("moldyn").unwrap().build(InputScale::Full);
+    assert!(
+        fop.total_classfile_bytes() > 2 * moldyn.total_classfile_bytes(),
+        "fop's class surface must dominate"
+    );
+}

@@ -1,0 +1,70 @@
+//! Ablation: generational nursery sizing.
+//!
+//! The suite's GenCopy/GenMS default to an Appel-style flexible nursery
+//! capped at a quarter of the heap. This ablation sweeps fixed nursery
+//! sizes for a churn-heavy benchmark and reports the EDP and collection
+//! mix, showing the classic tradeoff:
+//!
+//! * tiny nurseries → frequent minors, high per-object overhead;
+//! * huge nurseries → starved mature space, frequent majors.
+//!
+//! ```text
+//! cargo run --release --example ablation_nursery [benchmark]
+//! ```
+
+use vmprobe_heap::CollectorKind;
+use vmprobe_vm::{Vm, VmConfig};
+use vmprobe_workloads::{benchmark, InputScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "_202_jess".into());
+    let bench = benchmark(&name).ok_or("unknown benchmark")?;
+    let heap: u64 = 4 << 20; // the 32 MB label at suite scale
+
+    println!("nursery-size ablation: {name}, GenCopy, 32 MB heap label\n");
+    println!(
+        "{:>12} {:>8} {:>8} {:>11} {:>12} {:>12}",
+        "nursery", "minors", "majors", "copied MiB", "EDP (J*s)", "vs default"
+    );
+
+    let mut default_edp = None;
+    for nursery_kb in [0u64, 32, 64, 128, 256, 512, 1024, 2048] {
+        let program = bench.build(InputScale::Full);
+        let mut cfg = VmConfig::jikes(CollectorKind::GenCopy, heap);
+        let label = if nursery_kb == 0 {
+            "default".to_string()
+        } else {
+            cfg = cfg.nursery_bytes(nursery_kb << 10);
+            format!("{nursery_kb} KiB")
+        };
+        match Vm::new(program, cfg).run() {
+            Ok(out) => {
+                let edp = out.report.edp.joule_seconds();
+                let baseline = *default_edp.get_or_insert(edp);
+                println!(
+                    "{:>12} {:>8} {:>8} {:>11.1} {:>12.5} {:>11.1}%",
+                    label,
+                    out.gc.minor_collections,
+                    out.gc.major_collections,
+                    out.gc.total_copied_bytes as f64 / (1 << 20) as f64,
+                    edp,
+                    100.0 * (edp - baseline) / baseline,
+                );
+            }
+            Err(vmprobe_vm::VmError::OutOfMemory { .. }) => {
+                // An oversized nursery leaves too little mature space for
+                // the live set: a real configuration failure worth showing.
+                println!("{label:>12}  -- out of memory: mature space starved --");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    println!(
+        "\nmid-sized nurseries minimize EDP; oversizing starves the mature\n\
+         space into major collections, undersizing multiplies minor overhead."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! DVFS energy/performance sweep — the paper's Section VII future work,
+//! implemented: run the same benchmark at every Enhanced-SpeedStep
+//! operating point of the Pentium M and report the energy/delay tradeoff.
+//!
+//! The interesting effect (the one event-driven DVFS policies exploit, per
+//! the paper's citations of Choi et al. and Weissel/Bellosa): memory-bound
+//! workloads lose far less performance at reduced frequency than
+//! compute-bound ones, because DRAM latency is fixed in nanoseconds. So
+//! `_209_db` (pointer chasing) keeps most of its speed at 600 MHz while
+//! `_222_mpegaudio` (FP compute) slows almost linearly.
+//!
+//! ```text
+//! cargo run --release --example dvfs_sweep [benchmark]
+//! ```
+
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::DvfsPoint;
+use vmprobe_vm::{Vm, VmConfig};
+use vmprobe_workloads::{benchmark, InputScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "_209_db".into());
+    let bench = benchmark(&name).ok_or("unknown benchmark")?;
+
+    println!("DVFS sweep: {name} on Jikes RVM (GenCopy, 64 MB label)\n");
+    println!(
+        "{:16} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "operating point", "time (ms)", "energy (J)", "avg W", "EDP (J*s)", "vs nominal"
+    );
+
+    let mut nominal_edp = None;
+    for point in DvfsPoint::ladder(vmprobe_platform::PlatformKind::PentiumM) {
+        let program = bench.build(InputScale::Full);
+        let cfg = VmConfig::jikes(CollectorKind::GenCopy, 8 << 20).dvfs(point);
+        let out = Vm::new(program, cfg).run()?;
+        let t = out.report.duration.seconds();
+        let e = out.report.total_energy.joules();
+        let edp = out.report.edp.joule_seconds();
+        let nominal = *nominal_edp.get_or_insert(edp);
+        println!(
+            "{:16} {:>10.2} {:>10.3} {:>10.2} {:>12.5} {:>11.1}%",
+            point.name,
+            1e3 * t,
+            e,
+            e / t,
+            edp,
+            100.0 * (edp - nominal) / nominal,
+        );
+    }
+
+    println!(
+        "\nLower points trade delay for energy; whether EDP improves depends on\n\
+         how memory-bound the benchmark is (try `_222_mpegaudio` vs `_209_db`)."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! GC tuning study: sweep all four Jikes collectors across heap sizes for
+//! one benchmark and print the energy-delay table — the workflow behind the
+//! paper's Figure 7 and its central conclusion that generational
+//! collectors offer the best energy-delay product at small heaps.
+//!
+//! ```text
+//! cargo run --release --example gc_tuning [benchmark]
+//! ```
+
+use vmprobe::{figures, Runner, Table, P6_HEAPS_MB};
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::ComponentId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "_213_javac".into());
+    let mut runner = Runner::new();
+
+    println!("energy-delay product (J*s) for {bench} across collectors and heaps:\n");
+    let fig = figures::fig7(&mut runner, &[bench.as_str()], &P6_HEAPS_MB)?;
+
+    let mut header = vec!["collector".to_string()];
+    header.extend(P6_HEAPS_MB.iter().map(|h| format!("{h}MB")));
+    let mut table = Table::new(header);
+    for curve in &fig.curves {
+        let mut cells = vec![curve.collector.to_string()];
+        cells.extend(curve.points.iter().map(|(_, e)| format!("{e:.4}")));
+        table.row(cells);
+    }
+    println!("{table}");
+
+    // Who wins where?
+    for &heap in &[P6_HEAPS_MB[0], *P6_HEAPS_MB.last().unwrap()] {
+        let best = CollectorKind::jikes_collectors()
+            .into_iter()
+            .min_by(|a, b| {
+                let ea = fig
+                    .curve(&bench, *a)
+                    .and_then(|c| c.at(heap))
+                    .unwrap_or(f64::MAX);
+                let eb = fig
+                    .curve(&bench, *b)
+                    .and_then(|c| c.at(heap))
+                    .unwrap_or(f64::MAX);
+                ea.total_cmp(&eb)
+            })
+            .expect("four collectors");
+        println!("best collector at {heap:3} MB: {best}");
+    }
+
+    // GC energy share at the extremes (the Figure 6 effect).
+    for &heap in &[32, 128] {
+        let run = runner.run(&vmprobe::ExperimentConfig::jikes(
+            &bench,
+            CollectorKind::SemiSpace,
+            heap,
+        ))?;
+        println!(
+            "SemiSpace GC energy share at {heap:3} MB: {:.1}%",
+            100.0 * run.fraction(ComponentId::Gc)
+        );
+    }
+    println!("\n({} simulated runs executed)", runner.runs_executed());
+    Ok(())
+}

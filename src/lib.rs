@@ -1,0 +1,14 @@
+//! Workspace umbrella for the `vmprobe` reproduction suite.
+//!
+//! This crate exists to host the workspace-level runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). All library
+//! functionality lives in the `vmprobe*` member crates; see [`vmprobe`] for
+//! the top-level experiment API.
+
+pub use vmprobe as core;
+pub use vmprobe_bytecode as bytecode;
+pub use vmprobe_heap as heap;
+pub use vmprobe_platform as platform;
+pub use vmprobe_power as power;
+pub use vmprobe_vm as vm;
+pub use vmprobe_workloads as workloads;

@@ -1,0 +1,223 @@
+//! Property-based tests over the substrate stack.
+//!
+//! * Any blueprint in a broad parameter space must generate a verifying
+//!   program that runs to completion with a deterministic checksum under a
+//!   randomly chosen collector.
+//! * All five collectors must agree on reachability for arbitrary mutation
+//!   sequences over a shared object-graph script.
+
+use proptest::prelude::*;
+use vmprobe_heap::{AllocRequest, CollectorKind, CollectorPlan, ObjId, ObjectHeap, RootSet};
+use vmprobe_platform::{Machine, PlatformKind};
+use vmprobe_vm::{Vm, VmConfig};
+use vmprobe_workloads::{build_program, Blueprint, InputScale};
+
+fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
+    (
+        1u32..4,                            // phases
+        0u32..12,                           // lists_per_phase
+        1u32..200,                          // nodes_per_list
+        0u32..3,                            // trees_per_phase
+        1u32..7,                            // tree_depth
+        16u32..400,                         // live_records
+        1u32..8,                            // record_payload_words
+        0u32..300,                          // queries_per_phase
+        0u32..4,                            // query_walk
+        (0u32..2000, 0u32..1500, 0u32..40), // int, fp, math_every
+    )
+        .prop_map(
+            |(phases, lists, nodes, trees, depth, recs, payload, queries, walk, (ii, fi, me))| {
+                Blueprint {
+                    phases,
+                    lists_per_phase: lists,
+                    nodes_per_list: nodes,
+                    trees_per_phase: trees,
+                    tree_depth: depth,
+                    live_records: recs,
+                    record_payload_words: payload,
+                    queries_per_phase: queries,
+                    query_walk: walk,
+                    int_iters: ii,
+                    fp_iters: fi,
+                    math_every: me,
+                    hot_kernels: 2,
+                    app_classes: 3,
+                    class_padding: 128,
+                    work_array_words: 256,
+                }
+            },
+        )
+}
+
+fn arb_collector() -> impl Strategy<Value = CollectorKind> {
+    prop_oneof![
+        Just(CollectorKind::SemiSpace),
+        Just(CollectorKind::MarkSweep),
+        Just(CollectorKind::GenCopy),
+        Just(CollectorKind::GenMs),
+        Just(CollectorKind::KaffeIncremental),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_blueprints_run_identically_under_any_two_collectors(
+        bp in arb_blueprint(),
+        a in arb_collector(),
+        b in arb_collector(),
+    ) {
+        let heap = 1 << 20;
+        let mk = |k: CollectorKind| {
+            let program = build_program(&bp, InputScale::Reduced);
+            let cfg = match k {
+                CollectorKind::KaffeIncremental => VmConfig::kaffe(heap),
+                k => VmConfig::jikes(k, heap),
+            };
+            Vm::new(program, cfg).run().expect("random blueprint must run")
+        };
+        let ra = mk(a);
+        let rb = mk(b);
+        prop_assert_eq!(ra.result, rb.result, "collectors {} vs {} disagree", a, b);
+        prop_assert_eq!(ra.vm.bytecodes, rb.vm.bytecodes);
+    }
+}
+
+/// A scripted object-graph mutation: indices are reduced modulo the live
+/// handle set at execution time.
+#[derive(Debug, Clone)]
+enum GraphOp {
+    Alloc { refs: u8, keep: bool },
+    Link { from: usize, slot: u8, to: usize },
+    Unlink { from: usize, slot: u8 },
+    DropRoot { idx: usize },
+    Collect,
+}
+
+fn arb_graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u8..4, any::<bool>()).prop_map(|(refs, keep)| GraphOp::Alloc { refs, keep }),
+            (any::<usize>(), 0u8..3, any::<usize>()).prop_map(|(from, slot, to)| GraphOp::Link {
+                from,
+                slot,
+                to
+            }),
+            (any::<usize>(), 0u8..3).prop_map(|(from, slot)| GraphOp::Unlink { from, slot }),
+            any::<usize>().prop_map(|idx| GraphOp::DropRoot { idx }),
+            Just(GraphOp::Collect),
+        ],
+        1..120,
+    )
+}
+
+/// Run the script against one plan; returns the sorted list of root-
+/// reachable object ids that survive a final collection, mapped to their
+/// creation order so ids are comparable across plans.
+fn run_script(kind: CollectorKind, ops: &[GraphOp]) -> Vec<usize> {
+    let mut heap = ObjectHeap::new();
+    let mut plan = kind.new_plan(4 << 20);
+    let mut machine = Machine::new(PlatformKind::PentiumM);
+    let mut roots: Vec<ObjId> = Vec::new();
+    let mut order: std::collections::HashMap<ObjId, usize> = std::collections::HashMap::new();
+    let mut created = 0usize;
+
+    let alloc = |heap: &mut ObjectHeap,
+                 plan: &mut Box<dyn CollectorPlan>,
+                 machine: &mut Machine,
+                 roots: &Vec<ObjId>,
+                 refs: u8| {
+        let req = AllocRequest::instance(0, u32::from(refs), 1);
+        match plan.alloc(heap, req, machine) {
+            Ok(id) => id,
+            Err(_) => {
+                plan.collect(heap, &RootSet::from_refs(roots.clone()), machine);
+                plan.alloc(heap, req, machine)
+                    .expect("tiny script fits after GC")
+            }
+        }
+    };
+
+    for op in ops {
+        match op {
+            GraphOp::Alloc { refs, keep } => {
+                let id = alloc(&mut heap, &mut plan, &mut machine, &roots, *refs);
+                order.insert(id, created);
+                created += 1;
+                if *keep || roots.is_empty() {
+                    roots.push(id);
+                }
+            }
+            GraphOp::Link { from, slot, to } => {
+                if roots.is_empty() {
+                    continue;
+                }
+                let f = roots[from % roots.len()];
+                let t = roots[to % roots.len()];
+                let nslots = heap.get(f).ref_count();
+                if nslots == 0 {
+                    continue;
+                }
+                let s = usize::from(*slot) % nslots;
+                plan.write_barrier(&mut heap, f, Some(t), &mut machine);
+                heap.set_ref(f, s, Some(t));
+            }
+            GraphOp::Unlink { from, slot } => {
+                if roots.is_empty() {
+                    continue;
+                }
+                let f = roots[from % roots.len()];
+                let nslots = heap.get(f).ref_count();
+                if nslots == 0 {
+                    continue;
+                }
+                let s = usize::from(*slot) % nslots;
+                plan.write_barrier(&mut heap, f, None, &mut machine);
+                heap.set_ref(f, s, None);
+            }
+            GraphOp::DropRoot { idx } => {
+                if !roots.is_empty() {
+                    roots.remove(idx % roots.len());
+                }
+            }
+            GraphOp::Collect => {
+                plan.collect(&mut heap, &RootSet::from_refs(roots.clone()), &mut machine);
+            }
+        }
+    }
+
+    // Final full collection, then report the precise reachable set.
+    plan.collect_full(&mut heap, &RootSet::from_refs(roots.clone()), &mut machine);
+    if matches!(kind, CollectorKind::KaffeIncremental) {
+        // One more cycle clears any floating garbage retained by the
+        // previous epoch's marks.
+        plan.collect_full(&mut heap, &RootSet::from_refs(roots.clone()), &mut machine);
+    }
+    let mut live: Vec<usize> = heap.iter_ids().map(|id| order[&id]).collect();
+    live.sort_unstable();
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_collectors_agree_on_reachability(ops in arb_graph_ops()) {
+        let reference = run_script(CollectorKind::SemiSpace, &ops);
+        for kind in [
+            CollectorKind::MarkSweep,
+            CollectorKind::GenCopy,
+            CollectorKind::GenMs,
+            CollectorKind::KaffeIncremental,
+        ] {
+            let live = run_script(kind, &ops);
+            prop_assert_eq!(
+                &live,
+                &reference,
+                "{} disagrees with SemiSpace on the reachable set",
+                kind
+            );
+        }
+    }
+}
