@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
         .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
         .cloned()
         .collect();
-    println!("{}", figures::Fig6 { rows: subset });
+    println!(
+        "{}",
+        figures::Fig6 {
+            rows: subset,
+            failed: Vec::new()
+        }
+    );
 
     c.bench_function("fig06_one_decomposition_run(javac,ss,32MB)", |b| {
         b.iter(|| {

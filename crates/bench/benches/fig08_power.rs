@@ -18,7 +18,8 @@ fn bench(c: &mut Criterion) {
     println!(
         "{}",
         figures::Fig8 {
-            rows: subset.clone()
+            rows: subset.clone(),
+            failed: Vec::new(),
         }
     );
 

@@ -24,7 +24,13 @@ fn bench(c: &mut Criterion) {
             row.heap_mb
         );
     }
-    println!("{}", figures::Fig9 { rows: subset });
+    println!(
+        "{}",
+        figures::Fig9 {
+            rows: subset,
+            failed: Vec::new()
+        }
+    );
 
     c.bench_function("fig09_one_kaffe_run(javac,64MB)", |b| {
         b.iter(|| {

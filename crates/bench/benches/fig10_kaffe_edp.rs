@@ -26,7 +26,13 @@ fn bench(c: &mut Criterion) {
             curve.benchmark
         );
     }
-    println!("{}", figures::Fig10 { curves: subset });
+    println!(
+        "{}",
+        figures::Fig10 {
+            curves: subset,
+            failed: Vec::new()
+        }
+    );
 
     c.bench_function("fig10_one_kaffe_edp_point(db,64MB)", |b| {
         b.iter(|| ExperimentConfig::kaffe("_209_db", 64).run().expect("runs"));

@@ -1,16 +1,21 @@
 //! Command-line runner for a single characterization experiment.
 //!
 //! ```text
-//! vmprobe-run <benchmark> [collector] [heap_mb] [platform] [scale]
+//! vmprobe-run <benchmark> [collector] [heap_mb] [platform] [scale] [flags]
 //!   collector: semispace | marksweep | gencopy | genms | kaffe  (default gencopy)
 //!   heap_mb:   paper heap label in MB                           (default 64)
 //!   platform:  p6 | pxa255                                      (default p6)
 //!   scale:     full | s10                                       (default full)
+//! flags:
+//!   --faults <spec>     inject faults, e.g. drop=0.05,dup=0.01,wrap32,oom@1000
+//!   --retries <n>       attempts beyond the first before quarantine (default 2)
+//!   --seed <n>          override the fault plan's seed
+//!   --report-json <p>   write the supervised-run report JSON to a path ('-' = stdout)
 //! ```
 
 use std::process::ExitCode;
 
-use vmprobe::{ExperimentConfig, VmChoice};
+use vmprobe::{ExperimentConfig, FaultPlan, Runner, VmChoice};
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
 use vmprobe_power::ComponentId;
@@ -19,8 +24,10 @@ use vmprobe_workloads::InputScale;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vmprobe-run <benchmark> [semispace|marksweep|gencopy|genms|kaffe] \
-         [heap_mb] [p6|pxa255] [full|s10]"
+         [heap_mb] [p6|pxa255] [full|s10]\n\
+         \x20      [--faults <spec>] [--retries <n>] [--seed <n>] [--report-json <path>]"
     );
+    eprintln!("fault spec keys: drop dup noise wrap32 glitch drift oom@N budget seed");
     eprintln!("benchmarks:");
     for b in vmprobe_workloads::all_benchmarks() {
         eprintln!("  {:16} ({})", b.name, b.suite);
@@ -28,35 +35,147 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// A specific, single-line complaint — unlike [`usage`], which is reserved
+/// for the no-arguments / malformed-shape cases.
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+#[derive(Default)]
+struct Cli {
+    positionals: Vec<String>,
+    faults: Option<String>,
+    retries: Option<u32>,
+    seed: Option<u64>,
+    report_json: Option<String>,
+}
+
+enum ParseOutcome {
+    Ok(Cli),
+    Err(String),
+    Help,
+}
+
+fn parse_args(args: Vec<String>) -> ParseOutcome {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return ParseOutcome::Help;
+        }
+        if let Some(flag) = arg.strip_prefix("--") {
+            let (name, inline) = match flag.split_once('=') {
+                Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+                None => (flag.to_owned(), None),
+            };
+            let Some(value) = inline.or_else(|| it.next()) else {
+                return ParseOutcome::Err(format!("--{name} needs a value"));
+            };
+            match name.as_str() {
+                "faults" => cli.faults = Some(value),
+                "retries" => match value.parse() {
+                    Ok(v) => cli.retries = Some(v),
+                    Err(_) => {
+                        return ParseOutcome::Err(format!(
+                            "--retries expects a non-negative integer, got '{value}'"
+                        ))
+                    }
+                },
+                "seed" => match value.parse() {
+                    Ok(v) => cli.seed = Some(v),
+                    Err(_) => {
+                        return ParseOutcome::Err(format!(
+                            "--seed expects an unsigned integer, got '{value}'"
+                        ))
+                    }
+                },
+                "report-json" => cli.report_json = Some(value),
+                other => return ParseOutcome::Err(format!("unknown flag --{other}")),
+            }
+        } else {
+            cli.positionals.push(arg);
+        }
+    }
+    ParseOutcome::Ok(cli)
+}
+
+fn write_report(runner: &Runner, dest: &str) -> Result<(), String> {
+    let json = runner.report().to_json();
+    if dest == "-" {
+        println!("{json}");
+        return Ok(());
+    }
+    std::fs::write(dest, json).map_err(|e| format!("cannot write report to {dest}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(bench) = args.first() else {
+    let cli = match parse_args(args) {
+        ParseOutcome::Ok(cli) => cli,
+        ParseOutcome::Err(msg) => return fail(&msg),
+        ParseOutcome::Help => return usage(),
+    };
+    let Some(bench) = cli.positionals.first() else {
         return usage();
     };
+    if cli.positionals.len() > 5 {
+        return fail(&format!(
+            "unexpected extra argument '{}'",
+            cli.positionals[5]
+        ));
+    }
+    if vmprobe_workloads::benchmark(bench).is_none() {
+        return fail(&format!(
+            "unknown benchmark '{bench}' (run with no arguments to list benchmarks)"
+        ));
+    }
 
-    let vm = match args.get(1).map(String::as_str) {
+    let vm = match cli.positionals.get(1).map(String::as_str) {
         None | Some("gencopy") => VmChoice::Jikes(CollectorKind::GenCopy),
         Some("semispace") => VmChoice::Jikes(CollectorKind::SemiSpace),
         Some("marksweep") => VmChoice::Jikes(CollectorKind::MarkSweep),
         Some("genms") => VmChoice::Jikes(CollectorKind::GenMs),
         Some("kaffe") => VmChoice::Kaffe,
-        Some(_) => return usage(),
+        Some(other) => {
+            return fail(&format!(
+            "unknown collector '{other}' (expected semispace, marksweep, gencopy, genms or kaffe)"
+        ))
+        }
     };
-    let heap_mb: u32 = match args.get(2).map(|s| s.parse()) {
+    let heap_mb: u32 = match cli.positionals.get(2).map(|s| s.parse()) {
         None => 64,
         Some(Ok(v)) => v,
-        Some(Err(_)) => return usage(),
+        Some(Err(_)) => {
+            return fail(&format!(
+                "heap size must be a number of MB, got '{}'",
+                cli.positionals[2]
+            ))
+        }
     };
-    let platform = match args.get(3).map(String::as_str) {
+    let platform = match cli.positionals.get(3).map(String::as_str) {
         None | Some("p6") => PlatformKind::PentiumM,
         Some("pxa255") => PlatformKind::Pxa255,
-        Some(_) => return usage(),
+        Some(other) => {
+            return fail(&format!(
+                "unknown platform '{other}' (expected p6 or pxa255)"
+            ))
+        }
     };
-    let scale = match args.get(4).map(String::as_str) {
+    let scale = match cli.positionals.get(4).map(String::as_str) {
         None | Some("full") => InputScale::Full,
         Some("s10") => InputScale::Reduced,
-        Some(_) => return usage(),
+        Some(other) => return fail(&format!("unknown scale '{other}' (expected full or s10)")),
     };
+
+    let mut plan = match cli.faults.as_deref().map(FaultPlan::parse) {
+        None => FaultPlan::none(),
+        Some(Ok(p)) => p,
+        Some(Err(e)) => return fail(&e.to_string()),
+    };
+    if let Some(seed) = cli.seed {
+        plan = plan.with_seed(seed);
+    }
 
     let cfg = ExperimentConfig {
         benchmark: bench.clone(),
@@ -66,15 +185,34 @@ fn main() -> ExitCode {
         scale,
         trace_power: false,
     };
+    let mut runner = Runner::new().with_faults(plan);
+    if let Some(r) = cli.retries {
+        runner = runner.retries(r);
+    }
+
     let wall = std::time::Instant::now();
-    let run = match cfg.run() {
+    let result = runner.run(&cfg);
+    let wall = wall.elapsed();
+    if let Some(dest) = &cli.report_json {
+        if let Err(e) = write_report(&runner, dest) {
+            return fail(&e);
+        }
+    }
+    let run = match result {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: {e}");
+            let report = runner.report();
+            if report.retries > 0 {
+                eprintln!(
+                    "error: {e} ({} attempts, {} virtual backoff ms)",
+                    report.attempts_failed, report.backoff_virtual_ms
+                );
+            } else {
+                eprintln!("error: {e}");
+            }
             return ExitCode::FAILURE;
         }
     };
-    let wall = wall.elapsed();
 
     println!("experiment : {cfg}");
     println!(
@@ -131,5 +269,22 @@ fn main() -> ExitCode {
         "jvm energy : {:.1}%",
         100.0 * run.report.jvm_energy_fraction()
     );
+    let faults = run.report.faults;
+    if !faults.is_clean() {
+        println!(
+            "faults     : {} samples ({} dropped, {} dup), {} glitches, {} wraps unwrapped",
+            faults.samples_total,
+            faults.samples_dropped,
+            faults.samples_duplicated,
+            faults.port_glitches,
+            faults.wraps_unwrapped,
+        );
+        println!(
+            "degradation: |measured - clean| = {:.6} J <= bound {:.6} J (clean {:.3} J)",
+            run.report.energy_deviation_j(),
+            faults.energy_error_bound_j(),
+            run.report.clean_total_energy.joules(),
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -6,7 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use vmprobe_heap::{CollectorKind, GcStats};
 use vmprobe_platform::PlatformKind;
-use vmprobe_power::{ComponentId, PowerSample, Report};
+use vmprobe_power::{ComponentId, FaultPlan, PowerSample, Report};
 use vmprobe_vm::{CompilerStats, Vm, VmConfig, VmError, VmStats};
 use vmprobe_workloads::{benchmark, InputScale};
 
@@ -108,7 +108,7 @@ impl ExperimentConfig {
         base.platform(self.platform).trace_power(self.trace_power)
     }
 
-    /// Execute the experiment.
+    /// Execute the experiment without fault injection.
     ///
     /// # Errors
     ///
@@ -116,14 +116,28 @@ impl ExperimentConfig {
     /// [`ExperimentError::Vm`] when the run faults (most commonly
     /// out-of-memory when the heap label is too small for the workload).
     pub fn run(&self) -> Result<RunSummary, ExperimentError> {
+        self.run_with_faults(FaultPlan::none())
+    }
+
+    /// Execute the experiment under a fault plan: the DAQ, performance
+    /// monitor and VM inject the plan's faults deterministically, and the
+    /// summary's report carries the fault ledger plus clean ground truth.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExperimentConfig::run`], plus [`ExperimentError::Vm`] wrapping
+    /// the plan's own forced faults (`InjectedOom`, `StepBudgetExhausted`)
+    /// and typed heap-configuration rejections.
+    pub fn run_with_faults(&self, faults: FaultPlan) -> Result<RunSummary, ExperimentError> {
         let bench = benchmark(&self.benchmark)
             .ok_or_else(|| ExperimentError::UnknownBenchmark(self.benchmark.clone()))?;
         let program = bench.build(self.scale);
-        let vm = Vm::new(program, self.vm_config());
-        let out = vm.run().map_err(|e| ExperimentError::Vm {
+        let vm_err = |e: VmError| ExperimentError::Vm {
             config: Box::new(self.clone()),
             source: e,
-        })?;
+        };
+        let vm = Vm::try_new(program, self.vm_config().faults(faults)).map_err(vm_err)?;
+        let out = vm.run().map_err(vm_err)?;
         Ok(RunSummary {
             config: self.clone(),
             result_checksum: out.result.map(|v| v.as_i()),
@@ -149,7 +163,10 @@ impl fmt::Display for ExperimentConfig {
 }
 
 /// Why an experiment failed.
-#[derive(Debug)]
+///
+/// `Clone` so the supervised runner can cache negative results and replay
+/// them without re-executing the failing configuration.
+#[derive(Debug, Clone)]
 pub enum ExperimentError {
     /// The benchmark name is not registered.
     UnknownBenchmark(String),
@@ -160,6 +177,16 @@ pub enum ExperimentError {
         /// The underlying fault.
         source: VmError,
     },
+    /// The configuration exceeded its retry budget and was quarantined; the
+    /// runner refuses to execute it again.
+    Quarantined {
+        /// The quarantined configuration.
+        config: Box<ExperimentConfig>,
+        /// How many attempts were made before quarantine.
+        attempts: u32,
+        /// Rendered form of the last underlying error.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -169,6 +196,14 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Vm { config, source } => {
                 write!(f, "experiment {config} failed: {source}")
             }
+            ExperimentError::Quarantined {
+                config,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "experiment {config} quarantined after {attempts} attempts (last error: {last_error})"
+            ),
         }
     }
 }
@@ -177,7 +212,7 @@ impl Error for ExperimentError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExperimentError::Vm { source, .. } => Some(source),
-            ExperimentError::UnknownBenchmark(_) => None,
+            ExperimentError::UnknownBenchmark(_) | ExperimentError::Quarantined { .. } => None,
         }
     }
 }

@@ -16,7 +16,14 @@ use vmprobe_heap::CollectorKind;
 use vmprobe_power::{ComponentId, ThermalConfig, ThermalSim, Watts};
 use vmprobe_workloads::{all_benchmarks, pxa255_benchmarks, suite_benchmarks, Suite};
 
-use crate::{ExperimentConfig, ExperimentError, Runner, Table, P6_HEAPS_MB};
+use crate::{ExperimentConfig, ExperimentError, FailedCell, Runner, Table, P6_HEAPS_MB};
+
+fn write_failed(f: &mut fmt::Formatter<'_>, failed: &[FailedCell]) -> fmt::Result {
+    for cell in failed {
+        writeln!(f, "{cell}")?;
+    }
+    Ok(())
+}
 
 /// The components the paper monitors for Jikes RVM, in its legend order.
 pub const JIKES_COMPONENTS: [ComponentId; 4] = [
@@ -227,27 +234,33 @@ pub struct BreakdownRow {
 pub struct Fig6 {
     /// All bars, benchmark-major then heap order.
     pub rows: Vec<BreakdownRow>,
+    /// Cells that could not be filled (failed or quarantined runs).
+    pub failed: Vec<FailedCell>,
 }
 
 /// Regenerate Figure 6 across the given heap labels (defaults:
 /// [`P6_HEAPS_MB`]).
 ///
+/// Degrades gracefully: a failing or quarantined cell is recorded in
+/// [`Fig6::failed`] (and the runner's [`crate::RunReport`]) and the sweep
+/// continues.
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig6(runner: &mut Runner, heaps: &[u32]) -> Result<Fig6, ExperimentError> {
     let mut rows = Vec::new();
+    let mut failed = Vec::new();
     for b in all_benchmarks() {
         for &h in heaps {
-            let run = runner.run(&ExperimentConfig::jikes(
-                b.name,
-                CollectorKind::SemiSpace,
-                h,
-            ))?;
-            rows.push(breakdown_row(b.name, h, &run, &JIKES_COMPONENTS));
+            let cfg = ExperimentConfig::jikes(b.name, CollectorKind::SemiSpace, h);
+            if let Some(run) = runner.cell(&cfg, &mut failed) {
+                rows.push(breakdown_row(b.name, h, &run, &JIKES_COMPONENTS));
+            }
         }
     }
-    Ok(Fig6 { rows })
+    Ok(Fig6 { rows, failed })
 }
 
 fn breakdown_row(
@@ -285,7 +298,8 @@ impl fmt::Display for Fig6 {
             cells.push(pct(r.app_fraction));
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -308,6 +322,9 @@ pub struct EdpCurve {
 pub struct Fig7 {
     /// One curve per (benchmark, collector).
     pub curves: Vec<EdpCurve>,
+    /// Cells that could not be filled; their `(heap, EDP)` points are
+    /// simply absent from the affected curves.
+    pub failed: Vec<FailedCell>,
 }
 
 impl Fig7 {
@@ -332,21 +349,28 @@ impl EdpCurve {
 /// Regenerate Figure 7 for the given benchmarks and heaps (defaults: all
 /// benchmarks, [`P6_HEAPS_MB`]).
 ///
+/// Degrades gracefully: failing cells leave gaps in the affected curves
+/// and are listed in [`Fig7::failed`].
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig7(
     runner: &mut Runner,
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig7, ExperimentError> {
     let mut curves = Vec::new();
+    let mut failed = Vec::new();
     for &name in benchmarks {
         for collector in CollectorKind::jikes_collectors() {
             let mut points = Vec::new();
             for &h in heaps {
-                let run = runner.run(&ExperimentConfig::jikes(name, collector, h))?;
-                points.push((h, run.edp()));
+                let cfg = ExperimentConfig::jikes(name, collector, h);
+                if let Some(run) = runner.cell(&cfg, &mut failed) {
+                    points.push((h, run.edp()));
+                }
             }
             curves.push(EdpCurve {
                 benchmark: name.to_owned(),
@@ -355,7 +379,7 @@ pub fn fig7(
             });
         }
     }
-    Ok(Fig7 { curves })
+    Ok(Fig7 { curves, failed })
 }
 
 impl fmt::Display for Fig7 {
@@ -374,10 +398,15 @@ impl fmt::Display for Fig7 {
         let mut t = Table::new(header);
         for c in &self.curves {
             let mut cells = vec![c.benchmark.clone(), c.collector.to_string()];
-            cells.extend(c.points.iter().map(|(_, e)| format!("{e:.4}")));
+            cells.extend(
+                heaps
+                    .iter()
+                    .map(|&h| c.at(h).map_or_else(|| "--".into(), |e| format!("{e:.4}"))),
+            );
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -398,13 +427,19 @@ pub struct PowerRow {
 pub struct Fig8 {
     /// One row per benchmark.
     pub rows: Vec<PowerRow>,
+    /// Cells excluded from the aggregation because their runs failed.
+    pub failed: Vec<FailedCell>,
 }
 
 /// Regenerate Figure 8 (GenCopy, aggregated over `heaps`).
 ///
+/// Degrades gracefully: failing cells are excluded from each benchmark's
+/// aggregate and listed in [`Fig8::failed`].
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig8(runner: &mut Runner, heaps: &[u32]) -> Result<Fig8, ExperimentError> {
     let comps = [
         ComponentId::Application,
@@ -412,10 +447,14 @@ pub fn fig8(runner: &mut Runner, heaps: &[u32]) -> Result<Fig8, ExperimentError>
         ComponentId::ClassLoader,
     ];
     let mut rows = Vec::new();
+    let mut failed = Vec::new();
     for b in all_benchmarks() {
         let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); comps.len()]; // (energy, time, peak)
         for &h in heaps {
-            let run = runner.run(&ExperimentConfig::jikes(b.name, CollectorKind::GenCopy, h))?;
+            let cfg = ExperimentConfig::jikes(b.name, CollectorKind::GenCopy, h);
+            let Some(run) = runner.cell(&cfg, &mut failed) else {
+                continue;
+            };
             for (i, &c) in comps.iter().enumerate() {
                 if let Some(p) = run.report.component(c) {
                     acc[i].0 += p.energy.joules();
@@ -433,7 +472,7 @@ pub fn fig8(runner: &mut Runner, heaps: &[u32]) -> Result<Fig8, ExperimentError>
                 .collect(),
         });
     }
-    Ok(Fig8 { rows })
+    Ok(Fig8 { rows, failed })
 }
 
 impl fmt::Display for Fig8 {
@@ -459,7 +498,8 @@ impl fmt::Display for Fig8 {
             }
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -470,22 +510,31 @@ impl fmt::Display for Fig8 {
 pub struct Fig9 {
     /// One bar per (benchmark, heap).
     pub rows: Vec<BreakdownRow>,
+    /// Cells that could not be filled (failed or quarantined runs).
+    pub failed: Vec<FailedCell>,
 }
 
 /// Regenerate Figure 9.
 ///
+/// Degrades gracefully: failing cells are listed in [`Fig9::failed`] and
+/// the sweep continues.
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig9(runner: &mut Runner, heaps: &[u32]) -> Result<Fig9, ExperimentError> {
     let mut rows = Vec::new();
+    let mut failed = Vec::new();
     for b in all_benchmarks() {
         for &h in heaps {
-            let run = runner.run(&ExperimentConfig::kaffe(b.name, h))?;
-            rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
+            let cfg = ExperimentConfig::kaffe(b.name, h);
+            if let Some(run) = runner.cell(&cfg, &mut failed) {
+                rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
+            }
         }
     }
-    Ok(Fig9 { rows })
+    Ok(Fig9 { rows, failed })
 }
 
 impl fmt::Display for Fig9 {
@@ -505,7 +554,8 @@ impl fmt::Display for Fig9 {
             cells.push(pct(r.app_fraction));
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -514,20 +564,30 @@ impl fmt::Display for Fig9 {
 pub struct Fig10 {
     /// One curve per benchmark.
     pub curves: Vec<EdpCurve>,
+    /// Cells that could not be filled; their points are absent from the
+    /// affected curves.
+    pub failed: Vec<FailedCell>,
 }
 
 /// Regenerate Figure 10.
 ///
+/// Degrades gracefully: failing cells leave gaps in the affected curves
+/// and are listed in [`Fig10::failed`].
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig10(runner: &mut Runner, heaps: &[u32]) -> Result<Fig10, ExperimentError> {
     let mut curves = Vec::new();
+    let mut failed = Vec::new();
     for b in all_benchmarks() {
         let mut points = Vec::new();
         for &h in heaps {
-            let run = runner.run(&ExperimentConfig::kaffe(b.name, h))?;
-            points.push((h, run.edp()));
+            let cfg = ExperimentConfig::kaffe(b.name, h);
+            if let Some(run) = runner.cell(&cfg, &mut failed) {
+                points.push((h, run.edp()));
+            }
         }
         curves.push(EdpCurve {
             benchmark: b.name.to_owned(),
@@ -535,7 +595,7 @@ pub fn fig10(runner: &mut Runner, heaps: &[u32]) -> Result<Fig10, ExperimentErro
             points,
         });
     }
-    Ok(Fig10 { curves })
+    Ok(Fig10 { curves, failed })
 }
 
 impl fmt::Display for Fig10 {
@@ -554,10 +614,15 @@ impl fmt::Display for Fig10 {
         let mut t = Table::new(header);
         for c in &self.curves {
             let mut cells = vec![c.benchmark.clone()];
-            cells.extend(c.points.iter().map(|(_, e)| format!("{e:.4}")));
+            cells.extend(
+                heaps
+                    .iter()
+                    .map(|&h| c.at(h).map_or_else(|| "--".into(), |e| format!("{e:.4}"))),
+            );
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -568,23 +633,32 @@ impl fmt::Display for Fig10 {
 pub struct Fig11 {
     /// One bar per (benchmark, heap).
     pub rows: Vec<BreakdownRow>,
+    /// Cells that could not be filled (failed or quarantined runs).
+    pub failed: Vec<FailedCell>,
 }
 
 /// Regenerate Figure 11 across the PXA255 heap sweep (defaults:
 /// [`crate::PXA_HEAPS_MB`]).
 ///
+/// Degrades gracefully: failing cells are listed in [`Fig11::failed`] and
+/// the sweep continues.
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Reserved for sweep-level failures; per-cell failures no longer
+/// propagate.
 pub fn fig11(runner: &mut Runner, heaps: &[u32]) -> Result<Fig11, ExperimentError> {
     let mut rows = Vec::new();
+    let mut failed = Vec::new();
     for b in pxa255_benchmarks() {
         for &h in heaps {
-            let run = runner.run(&ExperimentConfig::kaffe_pxa(b.name, h))?;
-            rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
+            let cfg = ExperimentConfig::kaffe_pxa(b.name, h);
+            if let Some(run) = runner.cell(&cfg, &mut failed) {
+                rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
+            }
         }
     }
-    Ok(Fig11 { rows })
+    Ok(Fig11 { rows, failed })
 }
 
 impl fmt::Display for Fig11 {
@@ -607,7 +681,8 @@ impl fmt::Display for Fig11 {
             cells.push(pct(r.app_fraction));
             t.row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        write_failed(f, &self.failed)
     }
 }
 
@@ -1119,6 +1194,7 @@ mod tests {
         assert_eq!(curve.at(64), None);
         let fig = Fig7 {
             curves: vec![curve],
+            failed: Vec::new(),
         };
         assert!(fig.curve("_209_db", CollectorKind::SemiSpace).is_some());
         assert!(fig.curve("_209_db", CollectorKind::GenMs).is_none());

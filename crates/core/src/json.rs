@@ -1,0 +1,136 @@
+//! A tiny hand-rolled JSON emitter.
+//!
+//! The build is fully offline (no serde_json), so the machine-readable
+//! [`RunReport`](crate::RunReport) is serialized with this minimal writer.
+//! It only needs to *emit* — there is no parser — and values are limited to
+//! what the report uses: strings, integers, floats, booleans, arrays and
+//! nested objects.
+
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object writer.
+///
+/// ```
+/// use vmprobe::json::JsonObj;
+/// let mut o = JsonObj::new();
+/// o.str("name", "moldyn").u64("heap_mb", 32).bool("ok", true);
+/// assert_eq!(o.finish(), r#"{"name":"moldyn","heap_mb":32,"ok":true}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let e = escape(v);
+        let _ = write!(self.key(k), "\"{e}\"");
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a float field (non-finite values render as `null`).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        if v.is_finite() {
+            let _ = write!(self.key(k), "{v}");
+        } else {
+            self.key(k).push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a pre-rendered JSON value (nested object or array) verbatim.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).push_str(v);
+        self
+    }
+
+    /// Add an array field from pre-rendered JSON values.
+    pub fn array(&mut self, k: &str, items: impl IntoIterator<Item = String>) -> &mut Self {
+        let body: Vec<String> = items.into_iter().collect();
+        let rendered = format!("[{}]", body.join(","));
+        self.raw(k, &rendered)
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_object_renders() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let mut inner = JsonObj::new();
+        inner.u64("n", 3);
+        let mut o = JsonObj::new();
+        o.raw("inner", &inner.finish())
+            .array("xs", ["1".to_owned(), "2".to_owned()])
+            .f64("nan", f64::NAN);
+        assert_eq!(o.finish(), r#"{"inner":{"n":3},"xs":[1,2],"nan":null}"#);
+    }
+}

@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 mod experiment;
 pub mod figures;
+pub mod json;
 mod runner;
 mod scale;
 mod table;
 
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
-pub use runner::Runner;
+pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};
 pub use table::Table;
+pub use vmprobe_power::{FaultPlan, FaultSpecError, FaultStats};

@@ -1,27 +1,203 @@
-//! Cached experiment execution.
+//! Supervised, cached experiment execution.
 //!
 //! Several of the paper's figures draw on the same underlying runs (the
 //! SemiSpace sweep feeds both the Figure 6 decomposition and the Figure 7
-//! EDP curves); the [`Runner`] memoizes each configuration so every figure
-//! regeneration pays for a run exactly once per process. Runs are fully
-//! deterministic, so caching is sound.
+//! EDP curves), and real measurement campaigns lose cells to rig faults.
+//! The [`SupervisedRunner`] therefore does three jobs:
+//!
+//! * **memoize** — runs are fully deterministic, so each configuration is
+//!   paid for exactly once per process;
+//! * **supervise** — a failing configuration is retried up to a configured
+//!   budget with capped, deterministic exponential backoff (recorded as
+//!   *virtual* milliseconds, never slept), then **quarantined**: the
+//!   failure is cached negatively and the config is never executed again;
+//! * **account** — every run's injected-fault ledger, every retry, and
+//!   every quarantined or failed cell is aggregated into a machine-readable
+//!   [`RunReport`].
+//!
+//! Fault plans are attached at the runner level: a default plan applies to
+//! every configuration, and per-benchmark overrides let one benchmark fail
+//! persistently (the paper-sweep robustness scenario) while the rest of the
+//! sweep completes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use vmprobe_power::{FaultPlan, FaultStats};
+use vmprobe_vm::VmError;
+
+use crate::json::JsonObj;
 use crate::{ExperimentConfig, ExperimentError, RunSummary};
 
-/// Memoizing experiment runner.
+/// First retry waits this many virtual milliseconds.
+const BACKOFF_BASE_MS: u64 = 100;
+/// Backoff ceiling (the exponential doubling stops here).
+const BACKOFF_CAP_MS: u64 = 10_000;
+/// Default retry budget: attempts beyond the first before quarantine.
+const DEFAULT_RETRIES: u32 = 2;
+
+/// Deterministic capped exponential backoff for the `n`th retry (1-based),
+/// in virtual milliseconds. Never slept — recorded in the [`RunReport`] so
+/// a real deployment could replay the schedule.
+fn backoff_ms(retry: u32) -> u64 {
+    BACKOFF_BASE_MS
+        .saturating_mul(1u64 << retry.saturating_sub(1).min(20))
+        .min(BACKOFF_CAP_MS)
+}
+
+/// Negative-cache entry for a failing configuration.
+#[derive(Debug, Clone)]
+struct FailureRecord {
+    attempts: u32,
+    quarantined: bool,
+    last_error: String,
+}
+
+/// One cell a tolerant figure sweep could not fill.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct FailedCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Heap label in MB.
+    pub heap_mb: u32,
+    /// VM / collector label.
+    pub vm: String,
+    /// Rendered error.
+    pub error: String,
+}
+
+impl FailedCell {
+    fn new(config: &ExperimentConfig, error: &ExperimentError) -> Self {
+        FailedCell {
+            benchmark: config.benchmark.clone(),
+            heap_mb: config.heap_mb,
+            vm: config.vm.to_string(),
+            error: error.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FailedCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[failed] {} on {} @ {} MB: {}",
+            self.benchmark, self.vm, self.heap_mb, self.error
+        )
+    }
+}
+
+/// A configuration the runner refuses to execute again.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct QuarantinedConfig {
+    /// Rendered configuration.
+    pub config: String,
+    /// Benchmark name (for grouping).
+    pub benchmark: String,
+    /// Attempts made before quarantine.
+    pub attempts: u32,
+    /// Rendered form of the last error.
+    pub last_error: String,
+}
+
+/// Machine-readable account of a measurement campaign: what ran, what was
+/// retried, what was quarantined, and every injected fault.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct RunReport {
+    /// Distinct configurations that completed successfully.
+    pub runs_ok: u64,
+    /// Individual attempts that failed (including retries of the same
+    /// configuration).
+    pub attempts_failed: u64,
+    /// Retries performed (attempts beyond each configuration's first).
+    pub retries: u64,
+    /// Total virtual backoff the retry schedule accumulated, in ms.
+    pub backoff_virtual_ms: u64,
+    /// Times a quarantined configuration was requested again (and refused).
+    pub quarantine_hits: u64,
+    /// Configurations under quarantine.
+    pub quarantined: Vec<QuarantinedConfig>,
+    /// Cells tolerant figure sweeps could not fill (deduplicated).
+    pub failed_cells: Vec<FailedCell>,
+    /// Injected-fault ledger merged across every successful run, plus
+    /// forced-fault counts (`injected_oom`, `budget_exhausted`) from failed
+    /// attempts.
+    pub faults: FaultStats,
+}
+
+impl RunReport {
+    /// Serialize to a JSON object (hand-rolled; the build is offline).
+    pub fn to_json(&self) -> String {
+        let f = &self.faults;
+        let mut faults = JsonObj::new();
+        faults
+            .u64("samples_total", f.samples_total)
+            .u64("samples_dropped", f.samples_dropped)
+            .u64("samples_duplicated", f.samples_duplicated)
+            .u64("port_glitches", f.port_glitches)
+            .u64("wraps_unwrapped", f.wraps_unwrapped)
+            .u64("injected_oom", f.injected_oom)
+            .u64("budget_exhausted", f.budget_exhausted)
+            .f64("dropped_energy_j", f.dropped_energy_j)
+            .f64("duplicated_energy_j", f.duplicated_energy_j)
+            .f64("noise_abs_j", f.noise_abs_j)
+            .f64("drift_abs_j", f.drift_abs_j)
+            .f64("misattributed_energy_j", f.misattributed_energy_j)
+            .f64("energy_error_bound_j", f.energy_error_bound_j());
+
+        let quarantined = self.quarantined.iter().map(|q| {
+            let mut o = JsonObj::new();
+            o.str("config", &q.config)
+                .str("benchmark", &q.benchmark)
+                .u64("attempts", u64::from(q.attempts))
+                .str("last_error", &q.last_error);
+            o.finish()
+        });
+        let failed = self.failed_cells.iter().map(|c| {
+            let mut o = JsonObj::new();
+            o.str("benchmark", &c.benchmark)
+                .u64("heap_mb", u64::from(c.heap_mb))
+                .str("vm", &c.vm)
+                .str("error", &c.error);
+            o.finish()
+        });
+
+        let mut o = JsonObj::new();
+        o.u64("runs_ok", self.runs_ok)
+            .u64("attempts_failed", self.attempts_failed)
+            .u64("retries", self.retries)
+            .u64("backoff_virtual_ms", self.backoff_virtual_ms)
+            .u64("quarantine_hits", self.quarantine_hits)
+            .array("quarantined", quarantined)
+            .array("failed_cells", failed)
+            .raw("faults", &faults.finish());
+        o.finish()
+    }
+}
+
+/// Supervised memoizing experiment runner (see the module docs).
 #[derive(Debug, Default)]
-pub struct Runner {
+pub struct SupervisedRunner {
     cache: HashMap<String, Arc<RunSummary>>,
+    failures: HashMap<String, FailureRecord>,
+    default_faults: FaultPlan,
+    overrides: HashMap<String, FaultPlan>,
+    max_retries: u32,
+    report: RunReport,
+    seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
 }
 
-impl Runner {
-    /// A fresh runner with an empty cache.
+/// The historical name: every figure entry point takes `&mut Runner`.
+pub type Runner = SupervisedRunner;
+
+impl SupervisedRunner {
+    /// A fresh runner: empty cache, no fault plan, default retry budget.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            max_retries: DEFAULT_RETRIES,
+            ..Self::default()
+        }
     }
 
     /// Log each executed configuration to stderr.
@@ -30,27 +206,158 @@ impl Runner {
         self
     }
 
-    /// Run `config` (or return the cached result).
+    /// Apply `plan` to every configuration this runner executes.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.default_faults = plan;
+        self
+    }
+
+    /// Override the fault plan for one benchmark (e.g. force `oom@N` on a
+    /// single benchmark to model a persistently failing workload while the
+    /// rest of the sweep stays on the default plan).
+    pub fn fault_override(mut self, benchmark: &str, plan: FaultPlan) -> Self {
+        self.overrides.insert(benchmark.to_owned(), plan);
+        self
+    }
+
+    /// Set the retry budget: a configuration is attempted `1 + retries`
+    /// times before quarantine.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The fault plan that would apply to `benchmark`.
+    pub fn effective_plan(&self, benchmark: &str) -> FaultPlan {
+        self.overrides
+            .get(benchmark)
+            .copied()
+            .unwrap_or(self.default_faults)
+    }
+
+    fn cache_key(&self, config: &ExperimentConfig) -> String {
+        let plan = self.effective_plan(&config.benchmark);
+        if plan.is_none() {
+            config.key()
+        } else {
+            format!("{}|faults:{}", config.key(), plan)
+        }
+    }
+
+    /// Run `config` (or return the cached result), retrying and
+    /// quarantining per the runner's policy.
     ///
     /// # Errors
     ///
-    /// Propagates [`ExperimentError`]; failures are not cached.
+    /// The last underlying [`ExperimentError`] once the retry budget is
+    /// exhausted; [`ExperimentError::Quarantined`] (without executing
+    /// anything) on every subsequent request for that configuration.
     pub fn run(&mut self, config: &ExperimentConfig) -> Result<Arc<RunSummary>, ExperimentError> {
-        let key = config.key();
+        let key = self.cache_key(config);
         if let Some(hit) = self.cache.get(&key) {
             return Ok(Arc::clone(hit));
         }
-        if self.verbose {
-            eprintln!("[vmprobe] running {config}");
+        if let Some(rec) = self.failures.get(&key) {
+            if rec.quarantined {
+                self.report.quarantine_hits += 1;
+                return Err(ExperimentError::Quarantined {
+                    config: Box::new(config.clone()),
+                    attempts: rec.attempts,
+                    last_error: rec.last_error.clone(),
+                });
+            }
         }
-        let summary = Arc::new(config.run()?);
-        self.cache.insert(key, Arc::clone(&summary));
-        Ok(summary)
+        let plan = self.effective_plan(&config.benchmark);
+        loop {
+            let prior_attempts = self.failures.get(&key).map_or(0, |r| r.attempts);
+            if self.verbose {
+                eprintln!(
+                    "[vmprobe] running {config} (attempt {})",
+                    prior_attempts + 1
+                );
+            }
+            match config.run_with_faults(plan) {
+                Ok(summary) => {
+                    let summary = Arc::new(summary);
+                    self.report.runs_ok += 1;
+                    self.report.faults.merge(&summary.report.faults);
+                    self.cache.insert(key, Arc::clone(&summary));
+                    return Ok(summary);
+                }
+                Err(e) => {
+                    self.report.attempts_failed += 1;
+                    self.note_forced_fault(&e);
+                    let attempts = prior_attempts + 1;
+                    let quarantine = attempts > self.max_retries;
+                    self.failures.insert(
+                        key.clone(),
+                        FailureRecord {
+                            attempts,
+                            quarantined: quarantine,
+                            last_error: e.to_string(),
+                        },
+                    );
+                    if quarantine {
+                        self.report.quarantined.push(QuarantinedConfig {
+                            config: config.to_string(),
+                            benchmark: config.benchmark.clone(),
+                            attempts,
+                            last_error: e.to_string(),
+                        });
+                        if self.verbose {
+                            eprintln!("[vmprobe] quarantined {config} after {attempts} attempts");
+                        }
+                        return Err(e);
+                    }
+                    self.report.retries += 1;
+                    self.report.backoff_virtual_ms += backoff_ms(attempts);
+                }
+            }
+        }
     }
 
-    /// Number of distinct runs executed so far.
+    /// Tolerant cell execution for figure sweeps: a failure is recorded as
+    /// a [`FailedCell`] (in the returned value and the [`RunReport`]) and
+    /// the sweep continues with the cell empty.
+    pub fn cell(
+        &mut self,
+        config: &ExperimentConfig,
+        failed: &mut Vec<FailedCell>,
+    ) -> Option<Arc<RunSummary>> {
+        match self.run(config) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                let cell = FailedCell::new(config, &e);
+                let sig = (cell.benchmark.clone(), cell.heap_mb, cell.vm.clone());
+                if self.seen_failed_cells.insert(sig) {
+                    self.report.failed_cells.push(cell.clone());
+                }
+                failed.push(cell);
+                None
+            }
+        }
+    }
+
+    /// Fold forced VM faults (which abort runs rather than perturb
+    /// measurements) into the campaign fault ledger.
+    fn note_forced_fault(&mut self, e: &ExperimentError) {
+        if let ExperimentError::Vm { source, .. } = e {
+            match source {
+                VmError::InjectedOom { .. } => self.report.faults.injected_oom += 1,
+                VmError::StepBudgetExhausted { .. } => self.report.faults.budget_exhausted += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of distinct runs executed successfully so far.
     pub fn runs_executed(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The campaign report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
     }
 }
 
@@ -59,6 +366,12 @@ mod tests {
     use super::*;
     use vmprobe_heap::CollectorKind;
     use vmprobe_workloads::InputScale;
+
+    fn quick(benchmark: &str) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::jikes(benchmark, CollectorKind::SemiSpace, 32);
+        cfg.scale = InputScale::Reduced;
+        cfg
+    }
 
     #[test]
     fn cache_hits_do_not_rerun() {
@@ -69,5 +382,87 @@ mod tests {
         let b = r.run(&cfg).expect("cached");
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(r.runs_executed(), 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        assert_eq!(backoff_ms(1), 100);
+        assert_eq!(backoff_ms(2), 200);
+        assert_eq!(backoff_ms(3), 400);
+        assert_eq!(backoff_ms(8), 10_000);
+        assert_eq!(backoff_ms(u32::MAX), 10_000);
+    }
+
+    #[test]
+    fn persistent_failure_is_retried_then_quarantined() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(2).fault_override("moldyn", oom);
+        let cfg = quick("moldyn");
+
+        let err = r.run(&cfg).expect_err("oom@1 always fails");
+        assert!(matches!(err, ExperimentError::Vm { .. }));
+        assert_eq!(r.report().retries, 2, "retried to budget");
+        assert_eq!(r.report().attempts_failed, 3, "1 + 2 retries");
+        assert_eq!(r.report().backoff_virtual_ms, 100 + 200);
+        assert_eq!(r.report().quarantined.len(), 1);
+        assert_eq!(r.report().faults.injected_oom, 3);
+
+        // Subsequent requests are refused without executing anything.
+        let err = r.run(&cfg).expect_err("quarantined");
+        assert!(matches!(err, ExperimentError::Quarantined { .. }));
+        assert_eq!(r.report().attempts_failed, 3, "no new attempts");
+        assert_eq!(r.report().quarantine_hits, 1);
+    }
+
+    #[test]
+    fn override_only_hits_its_benchmark() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(0).fault_override("moldyn", oom);
+        assert!(r.run(&quick("moldyn")).is_err());
+        assert!(r.run(&quick("search")).is_ok());
+        assert!(r.report().faults.is_clean() || r.report().faults.injected_oom > 0);
+    }
+
+    #[test]
+    fn tolerant_cell_records_failures_and_continues() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(0).fault_override("moldyn", oom);
+        let mut failed = Vec::new();
+        assert!(r.cell(&quick("moldyn"), &mut failed).is_none());
+        assert!(r.cell(&quick("search"), &mut failed).is_some());
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].benchmark, "moldyn");
+        assert_eq!(r.report().failed_cells.len(), 1);
+        // Re-requesting the same dead cell does not duplicate the report
+        // entry.
+        let mut more = Vec::new();
+        assert!(r.cell(&quick("moldyn"), &mut more).is_none());
+        assert_eq!(r.report().failed_cells.len(), 1);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(1).fault_override("moldyn", oom);
+        let _ = r.run(&quick("moldyn"));
+        let _ = r.run(&quick("search"));
+        let json = r.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"runs_ok\":1"));
+        assert!(json.contains("\"retries\":1"));
+        assert!(json.contains("\"injected_oom\":2"));
+        assert!(json.contains("\"quarantined\":[{"));
+        assert!(json.contains("moldyn"));
+    }
+
+    #[test]
+    fn default_fault_plan_applies_to_every_run() {
+        let plan = FaultPlan::parse("drop=0.5,seed=3").unwrap();
+        let mut r = Runner::new().with_faults(plan);
+        let run = r.run(&quick("search")).expect("faulted run completes");
+        assert!(run.report.faults.samples_dropped > 0);
+        assert!(r.report().faults.samples_dropped > 0);
+        // Degradation contract at the campaign level.
+        assert!(run.report.energy_deviation_j() <= run.report.faults.energy_error_bound_j() + 1e-9);
     }
 }

@@ -56,3 +56,100 @@ fn no_arguments_prints_benchmark_list() {
     assert!(err.contains("_213_javac"));
     assert!(err.contains("moldyn"));
 }
+
+#[test]
+fn unknown_collector_gets_a_specific_error_not_the_usage_dump() {
+    let out = bin()
+        .args(["moldyn", "concmark"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown collector 'concmark'"),
+        "stderr: {err}"
+    );
+    assert!(!err.contains("benchmarks:"), "usage dump leaked: {err}");
+}
+
+#[test]
+fn unknown_benchmark_gets_a_specific_error_not_the_usage_dump() {
+    let out = bin().args(["_999_bogus"]).output().expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown benchmark '_999_bogus'"),
+        "stderr: {err}"
+    );
+    assert!(!err.contains("benchmarks:"), "usage dump leaked: {err}");
+}
+
+#[test]
+fn fault_flags_inject_and_report() {
+    let out = bin()
+        .args([
+            "moldyn",
+            "gencopy",
+            "32",
+            "p6",
+            "s10",
+            "--faults",
+            "drop=0.05,dup=0.01",
+            "--seed",
+            "42",
+            "--report-json",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("faults     :"), "stdout: {text}");
+    assert!(text.contains("degradation:"), "stdout: {text}");
+    assert!(text.contains("\"runs_ok\":1"), "stdout: {text}");
+    assert!(text.contains("\"samples_dropped\""), "stdout: {text}");
+}
+
+#[test]
+fn injected_oom_is_retried_then_surfaces_with_attempt_count() {
+    let out = bin()
+        .args([
+            "moldyn",
+            "gencopy",
+            "32",
+            "p6",
+            "s10",
+            "--faults",
+            "oom@100",
+            "--retries",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("injected heap exhaustion"), "stderr: {err}");
+    assert!(err.contains("2 attempts"), "stderr: {err}");
+}
+
+#[test]
+fn bad_flag_values_fail_clearly() {
+    let out = bin()
+        .args(["moldyn", "--retries", "lots"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--retries"), "stderr: {err}");
+
+    let out = bin()
+        .args(["moldyn", "--faults", "zap=1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr: {err}");
+}

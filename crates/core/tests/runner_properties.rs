@@ -1,0 +1,46 @@
+//! Property tests for the supervised runner's retry/quarantine discipline.
+
+use proptest::prelude::*;
+use vmprobe::{ExperimentConfig, ExperimentError, FaultPlan, Runner};
+use vmprobe_heap::CollectorKind;
+use vmprobe_workloads::InputScale;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    #[test]
+    fn a_quarantined_config_is_never_retried(
+        retries in 0u32..4,
+        oom_at in 1u64..50,
+        extra_runs in 1u64..4,
+    ) {
+        let plan = FaultPlan::parse(&format!("oom@{oom_at}")).unwrap();
+        let mut runner = Runner::new().retries(retries).with_faults(plan);
+        let mut cfg = ExperimentConfig::jikes("moldyn", CollectorKind::GenCopy, 32);
+        cfg.scale = InputScale::Reduced;
+
+        // First request: one initial attempt plus `retries` retries, then
+        // quarantine. The underlying error surfaces on this exhaustion.
+        let first = runner.run(&cfg);
+        prop_assert!(first.is_err());
+        let exhausted = u64::from(retries) + 1;
+        prop_assert_eq!(runner.report().attempts_failed, exhausted);
+        prop_assert_eq!(runner.report().retries, u64::from(retries));
+        prop_assert_eq!(runner.report().quarantined.len(), 1);
+
+        // Every later request must be refused from the negative cache
+        // without executing: attempt counters stay frozen.
+        for i in 0..extra_runs {
+            match runner.run(&cfg) {
+                Err(ExperimentError::Quarantined { attempts, .. }) => {
+                    prop_assert_eq!(u64::from(attempts), exhausted);
+                }
+                other => prop_assert!(false, "expected Quarantined, got {other:?}"),
+            }
+            prop_assert_eq!(runner.report().attempts_failed, exhausted);
+            prop_assert_eq!(runner.report().retries, u64::from(retries));
+            prop_assert_eq!(runner.report().quarantine_hits, i + 1);
+        }
+        prop_assert_eq!(runner.report().quarantined.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic fault injection for the vmprobe pipeline.
+//!
+//! The paper's measurement rig (Section IV) is full of real-world failure
+//! modes the simulation would otherwise pretend away: the 40 µs DAQ drops
+//! and double-clocks samples, sense-resistor calibration drifts with
+//! temperature, the parallel-port component register glitches mid-write,
+//! and the hardware performance counters are 32-bit and wrap. This crate
+//! provides a [`FaultPlan`] describing which of those faults to inject, a
+//! deterministic seeded RNG ([`DetRng`]) so every injected fault sequence
+//! is exactly reproducible from `(seed, stream)`, and [`FaultStats`], the
+//! ledger consumers fill in so the *degradation contract* is checkable:
+//!
+//! > total attributed energy deviates from the fault-free ("clean") energy
+//! > by at most [`FaultStats::energy_error_bound_j`].
+//!
+//! The crate is dependency-free; the DAQ, performance monitor, port and VM
+//! consume the plan (see `vmprobe-power` and `vmprobe-vm`).
+
+mod plan;
+mod rng;
+mod stats;
+
+pub use plan::{FaultPlan, FaultSpecError};
+pub use rng::DetRng;
+pub use stats::FaultStats;
+
+/// Mask for 32-bit counter wraparound injection/unwrapping.
+pub const WRAP32_MASK: u64 = 0xFFFF_FFFF;

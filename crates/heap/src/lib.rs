@@ -58,7 +58,7 @@ pub use gen::{GenCopy, GenMs, NURSERY_FRACTION, NURSERY_MAX_BYTES};
 pub use kaffe::KaffeIncremental;
 pub use marksweep::{MarkSweep, SegregatedFreeList, SIZE_CLASSES};
 pub use object::{ObjId, ObjKind, Object, ObjectHeap, OBJECT_HEADER_BYTES};
-pub use plan::{AllocError, AllocRequest, CollectorKind, CollectorPlan, Space};
+pub use plan::{AllocError, AllocRequest, CollectorKind, CollectorPlan, HeapConfigError, Space};
 pub use roots::RootSet;
 pub use semispace::SemiSpace;
 pub use stats::{CollectionKind, CollectionStats, GcStats};

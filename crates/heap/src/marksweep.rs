@@ -134,7 +134,8 @@ impl MarkSweep {
     ///
     /// # Panics
     ///
-    /// Panics if `heap_bytes < 4096`.
+    /// Panics if `heap_bytes < 4096`. Use [`MarkSweep::try_new`] for
+    /// untrusted configurations.
     pub fn new(heap_bytes: u64) -> Self {
         assert!(heap_bytes >= 4096, "heap too small");
         Self {
@@ -143,6 +144,20 @@ impl MarkSweep {
             epoch: 0,
             stats: GcStats::default(),
         }
+    }
+
+    /// Fallible constructor: rejects undersized heaps with a typed error
+    /// instead of panicking.
+    pub fn try_new(heap_bytes: u64) -> Result<Self, crate::plan::HeapConfigError> {
+        let min = crate::CollectorKind::MarkSweep.min_heap_bytes();
+        if heap_bytes < min {
+            return Err(crate::plan::HeapConfigError {
+                collector: crate::CollectorKind::MarkSweep,
+                required_bytes: min,
+                actual_bytes: heap_bytes,
+            });
+        }
+        Ok(Self::new(heap_bytes))
     }
 
     /// Cell-granular occupancy.

@@ -199,7 +199,44 @@ pub enum CollectorKind {
     KaffeIncremental,
 }
 
+/// A heap configuration the collector cannot honour — the typed form of
+/// what used to be `assert!(heap_bytes >= ...)` panics in the concrete
+/// plans, so misconfigured experiments surface as errors the supervised
+/// runner can report and quarantine instead of aborting a whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfigError {
+    /// The collector that rejected the configuration.
+    pub collector: CollectorKind,
+    /// Minimum heap the collector's layout needs, in bytes.
+    pub required_bytes: u64,
+    /// The heap that was requested, in bytes.
+    pub actual_bytes: u64,
+}
+
+impl fmt::Display for HeapConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} needs a heap of at least {} bytes, got {}",
+            self.collector, self.required_bytes, self.actual_bytes
+        )
+    }
+}
+
+impl std::error::Error for HeapConfigError {}
+
 impl CollectorKind {
+    /// Smallest heap the collector's layout can manage, in simulated bytes.
+    pub fn min_heap_bytes(self) -> u64 {
+        if self.is_generational() {
+            // Nursery plus two mature halves.
+            16384
+        } else {
+            // A single frame of workload data.
+            4096
+        }
+    }
+
     /// The four Jikes RVM collectors in the paper's Figure 3, in its order.
     pub fn jikes_collectors() -> [CollectorKind; 4] {
         [
@@ -224,19 +261,54 @@ impl CollectorKind {
     }
 
     /// Instantiate a plan managing `heap_bytes` of simulated heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undersized heap; use [`CollectorKind::try_new_plan`]
+    /// when the configuration is untrusted (experiment sweeps).
     pub fn new_plan(self, heap_bytes: u64) -> Box<dyn CollectorPlan> {
         self.new_plan_configured(heap_bytes, None)
+    }
+
+    /// Fallible form of [`CollectorKind::new_plan`].
+    pub fn try_new_plan(self, heap_bytes: u64) -> Result<Box<dyn CollectorPlan>, HeapConfigError> {
+        self.try_new_plan_configured(heap_bytes, None)
     }
 
     /// Instantiate a plan with an optional nursery-size override for the
     /// generational plans (ignored by non-generational plans). Used by
     /// nursery-sizing ablation studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undersized heap; use
+    /// [`CollectorKind::try_new_plan_configured`] when the configuration is
+    /// untrusted.
     pub fn new_plan_configured(
         self,
         heap_bytes: u64,
         nursery_override: Option<u64>,
     ) -> Box<dyn CollectorPlan> {
-        match (self, nursery_override) {
+        self.try_new_plan_configured(heap_bytes, nursery_override)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CollectorKind::new_plan_configured`]: rejects
+    /// heaps below [`CollectorKind::min_heap_bytes`] with a typed error
+    /// instead of panicking.
+    pub fn try_new_plan_configured(
+        self,
+        heap_bytes: u64,
+        nursery_override: Option<u64>,
+    ) -> Result<Box<dyn CollectorPlan>, HeapConfigError> {
+        if heap_bytes < self.min_heap_bytes() {
+            return Err(HeapConfigError {
+                collector: self,
+                required_bytes: self.min_heap_bytes(),
+                actual_bytes: heap_bytes,
+            });
+        }
+        Ok(match (self, nursery_override) {
             (CollectorKind::SemiSpace, _) => Box::new(crate::SemiSpace::new(heap_bytes)),
             (CollectorKind::MarkSweep, _) => Box::new(crate::MarkSweep::new(heap_bytes)),
             (CollectorKind::GenCopy, None) => Box::new(crate::GenCopy::new(heap_bytes)),
@@ -248,19 +320,27 @@ impl CollectorKind {
             (CollectorKind::KaffeIncremental, _) => {
                 Box::new(crate::KaffeIncremental::new(heap_bytes))
             }
+        })
+    }
+}
+
+impl CollectorKind {
+    /// The collector's display name as a static string (handy for typed
+    /// errors that avoid allocation).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectorKind::SemiSpace => "SemiSpace",
+            CollectorKind::MarkSweep => "MarkSweep",
+            CollectorKind::GenCopy => "GenCopy",
+            CollectorKind::GenMs => "GenMS",
+            CollectorKind::KaffeIncremental => "KaffeIncMS",
         }
     }
 }
 
 impl fmt::Display for CollectorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            CollectorKind::SemiSpace => "SemiSpace",
-            CollectorKind::MarkSweep => "MarkSweep",
-            CollectorKind::GenCopy => "GenCopy",
-            CollectorKind::GenMs => "GenMS",
-            CollectorKind::KaffeIncremental => "KaffeIncMS",
-        })
+        f.write_str(self.name())
     }
 }
 

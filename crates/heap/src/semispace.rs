@@ -36,7 +36,8 @@ impl SemiSpace {
     /// # Panics
     ///
     /// Panics if `heap_bytes < 4096` — too small to hold a single frame of
-    /// workload data.
+    /// workload data. Use [`SemiSpace::try_new`] for untrusted
+    /// configurations.
     pub fn new(heap_bytes: u64) -> Self {
         assert!(heap_bytes >= 4096, "heap too small");
         Self {
@@ -47,6 +48,20 @@ impl SemiSpace {
             epoch: 0,
             stats: GcStats::default(),
         }
+    }
+
+    /// Fallible constructor: rejects undersized heaps with a typed error
+    /// instead of panicking.
+    pub fn try_new(heap_bytes: u64) -> Result<Self, crate::plan::HeapConfigError> {
+        let min = crate::CollectorKind::SemiSpace.min_heap_bytes();
+        if heap_bytes < min {
+            return Err(crate::plan::HeapConfigError {
+                collector: crate::CollectorKind::SemiSpace,
+                required_bytes: min,
+                actual_bytes: heap_bytes,
+            });
+        }
+        Ok(Self::new(heap_bytes))
     }
 
     fn half_base(&self, half: u8) -> u64 {

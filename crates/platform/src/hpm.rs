@@ -73,6 +73,106 @@ impl HpmSnapshot {
     }
 }
 
+/// Width mask of the physical counters on both measured platforms: the P6
+/// family and the PXA255 expose 32-bit performance counters, so a sampler
+/// that reads them slowly enough sees wraparound.
+pub const COUNTER_MASK_32: u64 = 0xFFFF_FFFF;
+
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
+            instructions,
+            int_ops,
+            fp_ops,
+            branches,
+            loads,
+            stores,
+            l1i_accesses,
+            l1i_misses,
+            l1d_accesses,
+            l1d_misses,
+            l2_accesses,
+            l2_misses,
+            mem_accesses,
+            stall_cycles
+        );
+    };
+}
+
+impl HpmSnapshot {
+    /// The snapshot as a 32-bit counter file would report it: every counter
+    /// truncated to 32 bits. The cycle counter is left intact — it is the
+    /// simulator's timebase, not part of the wrapping counter file.
+    pub fn wrapped32(&self) -> HpmSnapshot {
+        let mut c = self.counters;
+        macro_rules! mask {
+            ($($f:ident),*) => { $(c.$f &= COUNTER_MASK_32;)* };
+        }
+        for_each_counter!(mask);
+        HpmSnapshot {
+            cycles: self.cycles,
+            counters: c,
+        }
+    }
+}
+
+/// Reconstructs monotone 64-bit counters from a stream of 32-bit (wrapped)
+/// snapshots, the way the paper's offline analysis accumulates HPM samples.
+///
+/// Reconstruction is **exact** for all deltas as long as each counter
+/// advances by fewer than 2^32 between consecutive snapshots — guaranteed
+/// here because the DAQ samples every 40 µs and the perf monitor every
+/// 1–10 ms. (The absolute base of a counter that exceeded 32 bits before
+/// the *first* snapshot is unrecoverable, but deltas never see it.)
+#[derive(Debug, Clone, Default)]
+pub struct HpmUnwrapper {
+    last_raw: Option<Hpm>,
+    acc: Hpm,
+    wraps: u64,
+}
+
+impl HpmUnwrapper {
+    /// A fresh unwrapper with no history.
+    pub fn new() -> Self {
+        HpmUnwrapper::default()
+    }
+
+    /// Number of individual counter wraps detected so far.
+    pub fn wraps_detected(&self) -> u64 {
+        self.wraps
+    }
+
+    /// Feed one raw (possibly wrapped) snapshot; returns the reconstructed
+    /// monotone snapshot.
+    pub fn unwrap_snapshot(&mut self, raw: &HpmSnapshot) -> HpmSnapshot {
+        match self.last_raw {
+            None => {
+                self.acc = raw.counters;
+            }
+            Some(prev) => {
+                macro_rules! advance {
+                    ($($f:ident),*) => {
+                        $(
+                            if raw.counters.$f < prev.$f {
+                                self.wraps += 1;
+                            }
+                            let delta =
+                                raw.counters.$f.wrapping_sub(prev.$f) & COUNTER_MASK_32;
+                            self.acc.$f += delta;
+                        )*
+                    };
+                }
+                for_each_counter!(advance);
+            }
+        }
+        self.last_raw = Some(raw.counters);
+        HpmSnapshot {
+            cycles: raw.cycles,
+            counters: self.acc,
+        }
+    }
+}
+
 /// Counter movement over a sampling window; input to the power model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HpmDelta {
@@ -165,6 +265,23 @@ mod tests {
         let d = HpmDelta::default();
         assert_eq!(d.ipc(), 0.0);
         assert_eq!(d.l2_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn unwrapper_reconstructs_across_a_wrap() {
+        let mk = |instructions: u64, cycles: u64| HpmSnapshot {
+            cycles,
+            counters: Hpm {
+                instructions,
+                ..Hpm::default()
+            },
+        };
+        let mut unwrap = HpmUnwrapper::new();
+        let near = COUNTER_MASK_32 - 10;
+        let a = unwrap.unwrap_snapshot(&mk(near, 100).wrapped32());
+        let b = unwrap.unwrap_snapshot(&mk(near + 50, 200).wrapped32());
+        assert_eq!(b.delta_since(&a).instructions, 50);
+        assert_eq!(unwrap.wraps_detected(), 1);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use addr::{Addr, CLASSFILE_BASE, CODE_BASE, HEAP_BASE, STACK_BASE, VM_BASE};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cpu::{CpuSpec, PlatformKind};
 pub use exec::Exec;
-pub use hpm::{Hpm, HpmDelta, HpmSnapshot};
+pub use hpm::{Hpm, HpmDelta, HpmSnapshot, HpmUnwrapper, COUNTER_MASK_32};
 pub use machine::Machine;

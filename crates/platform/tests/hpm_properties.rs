@@ -1,0 +1,53 @@
+//! Property tests for 32-bit HPM counter unwrapping.
+
+use proptest::prelude::*;
+use vmprobe_platform::{HpmSnapshot, HpmUnwrapper};
+
+proptest! {
+    #[test]
+    fn unwrapping_is_exact_across_multiple_wraps(
+        steps in prop::collection::vec(0x4000_0000u64..0x8000_0000, 8..20),
+    ) {
+        // Each step advances the counters by < 2^32 (the unwrapper's
+        // documented exactness condition) but the totals cross the 32-bit
+        // boundary several times. The reconstruction must equal the true
+        // 64-bit counters at every snapshot, not just at the end.
+        let mut unwrap = HpmUnwrapper::new();
+        let mut truth = HpmSnapshot::default();
+        for &s in &steps {
+            truth.cycles += s * 3;
+            truth.counters.instructions += s;
+            truth.counters.int_ops += s / 2;
+            truth.counters.loads += s / 3;
+            truth.counters.stores += s / 5;
+            truth.counters.branches += s / 7;
+            truth.counters.mem_accesses += s / 11;
+            let rebuilt = unwrap.unwrap_snapshot(&truth.wrapped32());
+            prop_assert_eq!(rebuilt.counters, truth.counters);
+            // The cycle counter is the timebase, never masked.
+            prop_assert_eq!(rebuilt.cycles, truth.cycles);
+        }
+        // 8 steps of >= 2^30 instructions alone cross 2^32 at least twice.
+        prop_assert!(
+            unwrap.wraps_detected() >= 2,
+            "expected >= 2 wraps, saw {}",
+            unwrap.wraps_detected()
+        );
+    }
+
+    #[test]
+    fn unwrapping_non_wrapped_streams_is_the_identity(
+        steps in prop::collection::vec(1u64..100_000, 1..30),
+    ) {
+        let mut unwrap = HpmUnwrapper::new();
+        let mut truth = HpmSnapshot::default();
+        for &s in &steps {
+            truth.cycles += s;
+            truth.counters.instructions += s;
+            truth.counters.loads += s / 2;
+            let rebuilt = unwrap.unwrap_snapshot(&truth.wrapped32());
+            prop_assert_eq!(rebuilt, truth);
+        }
+        prop_assert_eq!(unwrap.wraps_detected(), 0);
+    }
+}

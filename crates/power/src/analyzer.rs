@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use vmprobe_faults::FaultStats;
 use vmprobe_platform::{Machine, PlatformKind};
 
 use crate::{ComponentId, Daq, EnergyDelay, Joules, PerfMonitor, Seconds, Watts};
@@ -51,6 +52,12 @@ pub struct Report {
     pub total_energy: Joules,
     /// Energy-delay product: total energy × duration.
     pub edp: EnergyDelay,
+    /// CPU + DRAM energy a fault-free measurement would have reported
+    /// (equals `total_energy` when nothing was injected).
+    pub clean_total_energy: Joules,
+    /// Ledger of injected measurement faults; `faults.energy_error_bound_j()`
+    /// bounds `|total_energy - clean_total_energy|`.
+    pub faults: FaultStats,
 }
 
 impl Report {
@@ -88,6 +95,12 @@ impl Report {
     pub fn component(&self, c: ComponentId) -> Option<&ComponentProfile> {
         self.components.get(&c)
     }
+
+    /// Absolute deviation of the measured total energy from the clean
+    /// total, in joules. Bounded by `self.faults.energy_error_bound_j()`.
+    pub fn energy_deviation_j(&self) -> f64 {
+        (self.total_energy.joules() - self.clean_total_energy.joules()).abs()
+    }
 }
 
 /// Join the DAQ and performance traces into a [`Report`].
@@ -120,6 +133,8 @@ pub fn analyze(daq: &Daq, perf: &PerfMonitor, machine: &Machine) -> Report {
 
     let duration = Seconds::new(machine.now());
     let total_energy = dr.cpu_energy + dr.mem_energy;
+    let mut faults = dr.faults;
+    faults.wraps_unwrapped += perf.wraps_detected();
     Report {
         platform: machine.platform(),
         components,
@@ -128,6 +143,8 @@ pub fn analyze(daq: &Daq, perf: &PerfMonitor, machine: &Machine) -> Report {
         mem_energy: dr.mem_energy,
         total_energy,
         edp: total_energy * duration,
+        clean_total_energy: dr.clean_cpu_energy + dr.clean_mem_energy,
+        faults,
     }
 }
 

@@ -28,11 +28,15 @@ pub enum ComponentId {
     Controller,
     /// Nothing scheduled.
     Idle,
+    /// Attribution bucket for samples whose port read glitched to a value
+    /// that names no component (fault injection / hardware noise). Appended
+    /// last so the dense indices of the real components stay stable.
+    Spurious,
 }
 
 impl ComponentId {
     /// All identifiers, in display order.
-    pub const ALL: [ComponentId; 9] = [
+    pub const ALL: [ComponentId; 10] = [
         ComponentId::Application,
         ComponentId::Gc,
         ComponentId::ClassLoader,
@@ -42,11 +46,26 @@ impl ComponentId {
         ComponentId::Scheduler,
         ComponentId::Controller,
         ComponentId::Idle,
+        ComponentId::Spurious,
     ];
 
     /// Dense index for table storage.
     pub const fn index(self) -> usize {
         self as usize
+    }
+
+    /// Decode a raw register byte as the DAQ would: bytes that name a real
+    /// component resolve to it (a *stale* read attributes to the wrong
+    /// component); anything else is rejected as `None` and callers bucket
+    /// the sample under [`ComponentId::Spurious`].
+    pub const fn from_raw(raw: u8) -> Option<ComponentId> {
+        // `Spurious` itself is not a valid wire value: it only exists as an
+        // attribution bucket, so `ALL.len() - 1` excludes it.
+        if (raw as usize) < Self::ALL.len() - 1 {
+            Some(Self::ALL[raw as usize])
+        } else {
+            None
+        }
     }
 
     /// Short label matching the paper's figure legends.
@@ -61,6 +80,7 @@ impl ComponentId {
             ComponentId::Scheduler => "sched",
             ComponentId::Controller => "ctrl",
             ComponentId::Idle => "idle",
+            ComponentId::Spurious => "spurious",
         }
     }
 
@@ -68,7 +88,10 @@ impl ComponentId {
     /// decomposition (everything the VM does on the application's behalf,
     /// as opposed to the application itself).
     pub const fn is_vm_service(self) -> bool {
-        !matches!(self, ComponentId::Application | ComponentId::Idle)
+        !matches!(
+            self,
+            ComponentId::Application | ComponentId::Idle | ComponentId::Spurious
+        )
     }
 }
 
@@ -95,6 +118,18 @@ mod tests {
         assert!(ComponentId::OptCompiler.is_vm_service());
         assert!(!ComponentId::Application.is_vm_service());
         assert!(!ComponentId::Idle.is_vm_service());
+    }
+
+    #[test]
+    fn raw_decoding_rejects_out_of_range_values() {
+        assert_eq!(ComponentId::from_raw(0), Some(ComponentId::Application));
+        assert_eq!(ComponentId::from_raw(8), Some(ComponentId::Idle));
+        assert_eq!(
+            ComponentId::from_raw(9),
+            None,
+            "Spurious is not a wire value"
+        );
+        assert_eq!(ComponentId::from_raw(0xFF), None);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! attribution.
 
 use serde::{Deserialize, Serialize};
-use vmprobe_platform::{HpmSnapshot, PlatformKind};
+use vmprobe_faults::{DetRng, FaultPlan, FaultStats};
+use vmprobe_platform::{HpmSnapshot, HpmUnwrapper, PlatformKind};
 
 use crate::{ComponentId, Joules, PowerModel, Seconds, Watts};
 
@@ -63,12 +64,28 @@ pub struct DaqReport {
     pub mem_energy: Joules,
     /// Total sampled time.
     pub sampled_time: Seconds,
+    /// CPU energy a fault-free DAQ would have measured (equals
+    /// `cpu_energy` when no faults are injected).
+    pub clean_cpu_energy: Joules,
+    /// DRAM energy a fault-free DAQ would have measured.
+    pub clean_mem_energy: Joules,
+    /// Ledger of injected faults and the resulting error bound.
+    pub faults: FaultStats,
 }
 
 impl DaqReport {
     /// Accumulator for one component.
     pub fn component(&self, c: ComponentId) -> &ComponentPower {
         &self.per_component[c.index()]
+    }
+
+    /// Absolute deviation of the measured total (cpu + mem) energy from the
+    /// clean total. The degradation contract guarantees this never exceeds
+    /// [`FaultStats::energy_error_bound_j`].
+    pub fn energy_deviation_j(&self) -> f64 {
+        let measured = self.cpu_energy.joules() + self.mem_energy.joules();
+        let clean = self.clean_cpu_energy.joules() + self.clean_mem_energy.joules();
+        (measured - clean).abs()
     }
 }
 
@@ -90,6 +107,39 @@ pub struct Daq {
     last: HpmSnapshot,
     acc: Vec<ComponentPower>,
     trace: Option<Vec<PowerSample>>,
+    faults: FaultInjector,
+}
+
+/// Per-DAQ fault-injection state: the plan, the derived RNG streams, the
+/// unwrapper for 32-bit counter reads, the clean-energy ground truth, and
+/// the ledger that makes the degradation contract checkable.
+#[derive(Debug, Clone)]
+struct FaultInjector {
+    plan: FaultPlan,
+    /// Drives drop/dup/noise decisions.
+    rng: DetRng,
+    /// Independent stream for port-read corruption, so enabling one fault
+    /// class never shifts another class's sequence.
+    port_rng: DetRng,
+    unwrapper: HpmUnwrapper,
+    stats: FaultStats,
+    clean_cpu_energy: Joules,
+    clean_mem_energy: Joules,
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan) -> Self {
+        let root = DetRng::new(plan.seed);
+        FaultInjector {
+            plan,
+            rng: root.derive("daq"),
+            port_rng: root.derive("port"),
+            unwrapper: HpmUnwrapper::new(),
+            stats: FaultStats::default(),
+            clean_cpu_energy: Joules::ZERO,
+            clean_mem_energy: Joules::ZERO,
+        }
+    }
 }
 
 impl Daq {
@@ -120,7 +170,15 @@ impl Daq {
             last: HpmSnapshot::default(),
             acc: vec![ComponentPower::default(); ComponentId::ALL.len()],
             trace: trace.then(Vec::new),
+            faults: FaultInjector::new(FaultPlan::none()),
         }
+    }
+
+    /// Attach a fault plan. The injected sequence is fully determined by
+    /// `plan.seed`, so faulted runs replay bit-identically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultInjector::new(plan);
+        self
     }
 
     /// Cycle count at which the next sample is due (for cheap polling).
@@ -130,34 +188,111 @@ impl Daq {
 
     /// Take a sample if one is due. `snap` must be monotonically
     /// non-decreasing across calls.
+    ///
+    /// With a [`FaultPlan`] attached, this is where the measurement-path
+    /// faults land, in hardware order: the counter file is read (possibly
+    /// through a wrapping 32-bit view and unwrapped), the component register
+    /// is read (possibly glitching to a stale or invalid ID), the window's
+    /// power is computed (possibly scaled by calibration drift and bounded
+    /// sensor noise), and the sample is committed (possibly dropped or
+    /// double-clocked). Every perturbation's absolute energy effect is
+    /// logged in [`FaultStats`], so the report's measured totals deviate
+    /// from its clean totals by at most `faults.energy_error_bound_j()`.
     pub fn observe(&mut self, snap: &HpmSnapshot, component: ComponentId) {
         if snap.cycles < self.next_due {
             return;
         }
+        let f = &mut self.faults;
+        // 32-bit counter-file read + offline unwrap (exact at 40 µs windows).
+        let snap = &if f.plan.wrap32 {
+            let rebuilt = f.unwrapper.unwrap_snapshot(&snap.wrapped32());
+            f.stats.wraps_unwrapped = f.unwrapper.wraps_detected();
+            rebuilt
+        } else {
+            *snap
+        };
         let delta = snap.delta_since(&self.last);
         let dt = delta.cycles as f64 / self.freq_hz;
         let cpu = self.model.cpu_power(&delta, dt);
         let mem = self.model.dram_power(&delta, dt);
         let dt_s = Seconds::new(dt);
+        // Window consumed regardless of the sample's fate below.
+        self.last = *snap;
+        self.next_due = snap.cycles + self.period_cycles;
 
-        let a = &mut self.acc[component.index()];
-        a.energy += cpu * dt_s;
-        a.mem_energy += mem * dt_s;
-        a.time += dt_s;
-        a.samples += (delta.cycles / self.period_cycles).max(1);
-        a.peak = a.peak.max(cpu);
-        a.peak_mem = a.peak_mem.max(mem);
+        // Fault-free ground truth for this due window.
+        let clean_cpu_j = cpu.watts() * dt;
+        let clean_mem_j = mem.watts() * dt;
+        f.stats.samples_total += 1;
+        f.clean_cpu_energy += Joules::new(clean_cpu_j);
+        f.clean_mem_energy += Joules::new(clean_mem_j);
+
+        // Missed trigger: the window's energy is lost entirely.
+        if f.rng.chance(f.plan.drop_sample) {
+            f.stats.samples_dropped += 1;
+            f.stats.dropped_energy_j += clean_cpu_j + clean_mem_j;
+            return;
+        }
+
+        // Component-register read: may glitch to a stale or invalid ID.
+        let target = if f.port_rng.chance(f.plan.port_glitch) {
+            f.stats.port_glitches += 1;
+            let raw = (f.port_rng.next_u64() & 0xFF) as u8;
+            ComponentId::from_raw(raw).unwrap_or(ComponentId::Spurious)
+        } else {
+            component
+        };
+
+        // Calibration drift (monotone in time) and bounded sensor noise
+        // scale the measured power; the exact deviation each introduces is
+        // logged so the error bound is an identity, not an estimate.
+        let drift_m = 1.0 + f.plan.calib_drift * (snap.cycles as f64 / self.freq_hz);
+        let noise = if f.plan.noise_sigma > 0.0 {
+            (f.plan.noise_sigma * f.rng.gauss())
+                .clamp(-3.0 * f.plan.noise_sigma, 3.0 * f.plan.noise_sigma)
+        } else {
+            0.0
+        };
+        let factor = (drift_m * (1.0 + noise)).max(0.0);
+        let meas_cpu = Watts::new(cpu.watts() * factor);
+        let meas_mem = Watts::new(mem.watts() * factor);
+        let meas_cpu_j = meas_cpu.watts() * dt;
+        let meas_mem_j = meas_mem.watts() * dt;
+        let clean_j = clean_cpu_j + clean_mem_j;
+        let drift_delta = (drift_m - 1.0) * clean_j;
+        f.stats.drift_abs_j += drift_delta.abs();
+        f.stats.noise_abs_j += ((meas_cpu_j + meas_mem_j) - clean_j - drift_delta).abs();
+        if target != component {
+            f.stats.misattributed_energy_j += meas_cpu_j + meas_mem_j;
+        }
+
+        // Double-clocked samples commit twice.
+        let commits = if f.rng.chance(f.plan.dup_sample) {
+            f.stats.samples_duplicated += 1;
+            f.stats.duplicated_energy_j += meas_cpu_j + meas_mem_j;
+            2
+        } else {
+            1
+        };
+
+        let a = &mut self.acc[target.index()];
+        for _ in 0..commits {
+            a.energy += meas_cpu * dt_s;
+            a.mem_energy += meas_mem * dt_s;
+            a.time += dt_s;
+            a.samples += (delta.cycles / self.period_cycles).max(1);
+        }
+        a.peak = a.peak.max(meas_cpu);
+        a.peak_mem = a.peak_mem.max(meas_mem);
 
         if let Some(t) = &mut self.trace {
             t.push(PowerSample {
                 t: snap.cycles as f64 / self.freq_hz,
-                cpu_w: cpu.watts(),
-                mem_w: mem.watts(),
-                component,
+                cpu_w: meas_cpu.watts(),
+                mem_w: meas_mem.watts(),
+                component: target,
             });
         }
-        self.last = *snap;
-        self.next_due = snap.cycles + self.period_cycles;
     }
 
     /// The recorded trace, when enabled.
@@ -170,6 +305,11 @@ impl Daq {
         &self.model
     }
 
+    /// The fault ledger accumulated so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults.stats
+    }
+
     /// Aggregate the run.
     pub fn report(&self) -> DaqReport {
         DaqReport {
@@ -177,6 +317,9 @@ impl Daq {
             cpu_energy: self.acc.iter().map(|a| a.energy).sum(),
             mem_energy: self.acc.iter().map(|a| a.mem_energy).sum(),
             sampled_time: self.acc.iter().map(|a| a.time).sum(),
+            clean_cpu_energy: self.faults.clean_cpu_energy,
+            clean_mem_energy: self.faults.clean_mem_energy,
+            faults: self.faults.stats,
         }
     }
 }

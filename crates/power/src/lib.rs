@@ -70,3 +70,7 @@ pub use perfmon::{PerfMonitor, PerfRecord};
 pub use port::ComponentPort;
 pub use thermal::{ThermalConfig, ThermalSim, ThermalState};
 pub use units::{Celsius, EnergyDelay, Joules, Seconds, Watts};
+
+// Fault-injection machinery consumed by the measurement path; re-exported
+// so measurement users need not depend on `vmprobe-faults` directly.
+pub use vmprobe_faults::{DetRng, FaultPlan, FaultSpecError, FaultStats};

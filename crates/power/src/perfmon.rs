@@ -8,7 +8,7 @@
 //! in the paper's Section VI-C.
 
 use serde::{Deserialize, Serialize};
-use vmprobe_platform::{HpmDelta, HpmSnapshot, PlatformKind};
+use vmprobe_platform::{HpmDelta, HpmSnapshot, HpmUnwrapper, PlatformKind};
 
 use crate::ComponentId;
 
@@ -31,6 +31,9 @@ pub struct PerfMonitor {
     next_due: u64,
     last: HpmSnapshot,
     records: Vec<PerfRecord>,
+    /// When set, reads see a 32-bit counter file and are unwrapped.
+    wrap32: bool,
+    unwrapper: HpmUnwrapper,
 }
 
 impl PerfMonitor {
@@ -53,7 +56,23 @@ impl PerfMonitor {
             next_due: period_cycles,
             last: HpmSnapshot::default(),
             records: Vec::new(),
+            wrap32: false,
+            unwrapper: HpmUnwrapper::new(),
         }
+    }
+
+    /// Simulate the physical 32-bit counter file: every observed snapshot is
+    /// truncated to 32 bits and reconstructed with an [`HpmUnwrapper`], as
+    /// the paper's offline accumulation must. Exact while each counter moves
+    /// by < 2^32 per period (always true at 1–10 ms sampling).
+    pub fn with_wrap32(mut self) -> Self {
+        self.wrap32 = true;
+        self
+    }
+
+    /// Counter wraps detected and unwrapped so far.
+    pub fn wraps_detected(&self) -> u64 {
+        self.unwrapper.wraps_detected()
     }
 
     /// Cycle count at which the next sample is due.
@@ -66,6 +85,14 @@ impl PerfMonitor {
         if snap.cycles < self.next_due {
             return;
         }
+        // The cycle counter is the timebase (not wrapped); only the counter
+        // file goes through the 32-bit read + unwrap path, and only at due
+        // instants so the hot-path early return stays one compare.
+        let snap = &if self.wrap32 {
+            self.unwrapper.unwrap_snapshot(&snap.wrapped32())
+        } else {
+            *snap
+        };
         let delta = snap.delta_since(&self.last);
         self.records.push(PerfRecord {
             t: snap.cycles as f64 / self.freq_hz,

@@ -38,6 +38,14 @@ impl ComponentPort {
         *self.stack.last().expect("port stack never empty")
     }
 
+    /// The register value as raw pins, the way the DAQ's digital channel
+    /// samples it. Glitched reads (fault injection) corrupt this byte; the
+    /// DAQ decodes it with [`ComponentId::from_raw`] and buckets undecodable
+    /// values under [`ComponentId::Spurious`].
+    pub fn current_raw(&self) -> u8 {
+        self.current().index() as u8
+    }
+
     /// Enter a nested component (Kaffe-style entry call).
     pub fn push(&mut self, c: ComponentId) {
         self.stack.push(c);
@@ -104,6 +112,17 @@ mod tests {
         assert_eq!(p.current(), ComponentId::Application);
         assert_eq!(p.depth(), 1);
         assert_eq!(p.writes(), 5);
+    }
+
+    #[test]
+    fn raw_read_round_trips_through_decode() {
+        let mut p = ComponentPort::new();
+        p.set_base(ComponentId::Application);
+        p.push(ComponentId::Gc);
+        assert_eq!(
+            ComponentId::from_raw(p.current_raw()),
+            Some(ComponentId::Gc)
+        );
     }
 
     #[test]

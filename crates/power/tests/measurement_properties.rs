@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use vmprobe_platform::{HpmDelta, Machine, PlatformKind};
 use vmprobe_power::{
-    ComponentId, Daq, DvfsPoint, PowerModel, Seconds, ThermalConfig, ThermalSim, Watts,
+    ComponentId, Daq, DvfsPoint, FaultPlan, PowerModel, Seconds, ThermalConfig, ThermalSim, Watts,
 };
 
 fn component(i: u8) -> ComponentId {
@@ -35,6 +35,58 @@ proptest! {
                 prop_assert!(p.peak.watts() + 1e-12 >= p.avg_power().watts());
             }
         }
+    }
+
+    #[test]
+    fn faulty_daq_energy_stays_within_the_documented_bound(
+        drop_p in 0.0f64..0.5,
+        dup_p in 0.0f64..0.3,
+        noise in 0.0f64..0.05,
+        drift in 0.0f64..1e-3,
+        seed in any::<u64>(),
+    ) {
+        // Degradation contract: whatever mix of sample drops, duplicates,
+        // Gaussian noise and calibration drift the plan injects, the energy
+        // reported by the faulty DAQ deviates from the fault-free ground
+        // truth by no more than the bound it reports alongside the data.
+        let mut plan = FaultPlan::none();
+        plan.drop_sample = drop_p;
+        plan.dup_sample = dup_p;
+        plan.noise_sigma = noise;
+        plan.calib_drift = drift;
+        plan.seed = seed;
+
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut faulty = Daq::new(PlatformKind::PentiumM).with_faults(plan);
+        let mut clean = Daq::new(PlatformKind::PentiumM);
+        for i in 0..30_000u64 {
+            m.int_ops(500);
+            if i % 64 < 32 {
+                m.load(0x1000_0000 + (i % 4096) * 8);
+            }
+            let snap = m.snapshot();
+            let c = component((i / 512) as u8);
+            faulty.observe(&snap, c);
+            clean.observe(&snap, c);
+        }
+        let fr = faulty.report();
+        let cr = clean.report();
+
+        prop_assert!(fr.faults.samples_total > 100, "workload too short to judge");
+        prop_assert!(
+            fr.energy_deviation_j() <= fr.faults.energy_error_bound_j() + 1e-9,
+            "deviation {} exceeds bound {}",
+            fr.energy_deviation_j(),
+            fr.faults.energy_error_bound_j()
+        );
+        // The faulty DAQ's clean-side ledger is the real ground truth: it
+        // must match an actual fault-free DAQ fed the same snapshots.
+        let ledger = fr.clean_cpu_energy.joules() + fr.clean_mem_energy.joules();
+        let truth = cr.cpu_energy.joules() + cr.mem_energy.joules();
+        prop_assert!(
+            (ledger - truth).abs() <= 1e-9 * truth.max(1.0),
+            "clean ledger {ledger} != fault-free run {truth}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Virtual-machine configuration.
 
 use serde::Serialize;
+use vmprobe_faults::FaultPlan;
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
 use vmprobe_power::DvfsPoint;
@@ -73,6 +74,9 @@ pub struct VmConfig {
     /// Override the generational nursery size in bytes (ablation studies;
     /// `None` = the plans' default Appel-style sizing).
     pub nursery_bytes: Option<u64>,
+    /// Fault-injection plan for the run (measurement-path faults plus
+    /// forced VM faults). `FaultPlan::none()` by default.
+    pub faults: FaultPlan,
 }
 
 impl VmConfig {
@@ -89,6 +93,7 @@ impl VmConfig {
             max_frames: 1024,
             dvfs: DvfsPoint::NOMINAL,
             nursery_bytes: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -106,6 +111,7 @@ impl VmConfig {
             max_frames: 1024,
             dvfs: DvfsPoint::NOMINAL,
             nursery_bytes: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -141,6 +147,12 @@ impl VmConfig {
     /// Override the generational nursery size (ablation studies).
     pub fn nursery_bytes(mut self, bytes: u64) -> Self {
         self.nursery_bytes = Some(bytes);
+        self
+    }
+
+    /// Run under a fault-injection plan (see [`FaultPlan`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 }

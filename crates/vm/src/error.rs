@@ -52,6 +52,27 @@ pub enum VmError {
         /// Requested slot.
         slot: u16,
     },
+    /// The collector rejected the configured heap (too small for its
+    /// layout) — the typed form of the old constructor panics.
+    HeapConfig {
+        /// Collector that rejected the heap.
+        collector: &'static str,
+        /// Minimum heap the collector's layout needs, in bytes.
+        required_bytes: u64,
+        /// The heap that was configured, in bytes.
+        actual_bytes: u64,
+    },
+    /// Heap exhaustion forced by the fault plan (`oom@N`) at the Nth
+    /// allocation.
+    InjectedOom {
+        /// The allocation count at which the fault fired.
+        at_allocation: u64,
+    },
+    /// The run exceeded the fault plan's per-run step budget (`budget=N`).
+    StepBudgetExhausted {
+        /// The configured budget in bytecodes.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -83,6 +104,20 @@ impl fmt::Display for VmError {
             }
             VmError::BadSlot { method, pc, slot } => {
                 write!(f, "slot {slot} beyond object layout at {method}:{pc}")
+            }
+            VmError::HeapConfig {
+                collector,
+                required_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "heap misconfigured: {collector} needs at least {required_bytes} bytes, got {actual_bytes}"
+            ),
+            VmError::InjectedOom { at_allocation } => {
+                write!(f, "injected heap exhaustion at allocation {at_allocation}")
+            }
+            VmError::StepBudgetExhausted { budget } => {
+                write!(f, "step budget of {budget} bytecodes exhausted")
             }
         }
     }

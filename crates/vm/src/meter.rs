@@ -9,7 +9,7 @@
 
 use vmprobe_platform::{Addr, CpuSpec, Exec, Machine, PlatformKind};
 use vmprobe_power::{
-    ComponentId, ComponentPort, Daq, DvfsPoint, PerfMonitor, PowerCoeffs, PowerModel,
+    ComponentId, ComponentPort, Daq, DvfsPoint, FaultPlan, PerfMonitor, PowerCoeffs, PowerModel,
 };
 
 /// Cycles charged per component-ID register write (parallel-port I/O on the
@@ -44,10 +44,28 @@ impl Meter {
     /// DRAM penalty (constant in nanoseconds, fewer cycles at lower clocks)
     /// and the power-model coefficients all scale together.
     pub fn with_dvfs(kind: PlatformKind, trace_power: bool, dvfs: DvfsPoint) -> Self {
+        Self::with_faults(kind, trace_power, dvfs, FaultPlan::none())
+    }
+
+    /// Build a machine whose measurement rig runs under a fault plan: the
+    /// DAQ injects drops/dups/noise/glitches/drift, and when `wrap32` is set
+    /// the performance monitor reads 32-bit wrapped counters and unwraps
+    /// them.
+    pub fn with_faults(
+        kind: PlatformKind,
+        trace_power: bool,
+        dvfs: DvfsPoint,
+        faults: FaultPlan,
+    ) -> Self {
         let spec = CpuSpec::of(kind).scaled(dvfs.freq_factor);
         let model = PowerModel::with_coeffs(dvfs.scale_coeffs(PowerCoeffs::of(kind)));
-        let daq = Daq::with_model(model, spec.freq_hz, trace_power);
+        let daq = Daq::with_model(model, spec.freq_hz, trace_power).with_faults(faults);
         let perf = PerfMonitor::with_clock(kind, spec.freq_hz);
+        let perf = if faults.wrap32 {
+            perf.with_wrap32()
+        } else {
+            perf
+        };
         let next_probe = daq.next_due_cycles().min(perf.next_due_cycles());
         Self {
             machine: Machine::from_spec(spec),

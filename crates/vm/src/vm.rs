@@ -101,6 +101,11 @@ pub struct Vm {
     frames: Vec<Frame>,
     stats: VmStats,
     next_quantum: u64,
+    /// Bytecode count at which the run aborts (`u64::MAX` when no budget).
+    step_budget: u64,
+    /// Allocation count at which heap exhaustion is forced (`u64::MAX`
+    /// when no injection).
+    fail_alloc_at: u64,
     result: Option<Value>,
 }
 
@@ -117,16 +122,37 @@ impl std::fmt::Debug for Vm {
 
 impl Vm {
     /// Build a VM for `program` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the collector rejects the configured heap; use
+    /// [`Vm::try_new`] to get the typed error instead.
     pub fn new(program: Program, config: VmConfig) -> Self {
+        Self::try_new(program, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a VM for `program` under `config`, rejecting heaps the
+    /// collector cannot lay out with [`VmError::HeapConfig`].
+    pub fn try_new(program: Program, config: VmConfig) -> Result<Self, VmError> {
         let loader = ClassLoader::new(&program);
         let compilers = CompilerSubsystem::new(&program);
         let statics = vec![Value::Null; program.statics().len()];
-        let meter = Meter::with_dvfs(config.platform, config.trace_power, config.dvfs);
+        let meter = Meter::with_faults(
+            config.platform,
+            config.trace_power,
+            config.dvfs,
+            config.faults,
+        );
         let plan = config
             .collector
-            .new_plan_configured(config.heap_bytes, config.nursery_bytes);
+            .try_new_plan_configured(config.heap_bytes, config.nursery_bytes)
+            .map_err(|e| VmError::HeapConfig {
+                collector: e.collector.name(),
+                required_bytes: e.required_bytes,
+                actual_bytes: e.actual_bytes,
+            })?;
         let next_quantum = config.quantum_cycles;
-        Self {
+        Ok(Self {
             program: Arc::new(program),
             config,
             meter,
@@ -139,8 +165,10 @@ impl Vm {
             frames: Vec::new(),
             stats: VmStats::default(),
             next_quantum,
+            step_budget: config.faults.step_budget.unwrap_or(u64::MAX),
+            fail_alloc_at: config.faults.fail_alloc_at.unwrap_or(u64::MAX),
             result: None,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -227,6 +255,11 @@ impl Vm {
                 self.meter.int_ops(dispatch);
             }
             self.stats.bytecodes += 1;
+            if self.stats.bytecodes >= self.step_budget {
+                fault!(VmError::StepBudgetExhausted {
+                    budget: self.step_budget,
+                });
+            }
             let op = code[pc];
             frame.pc += 1;
             match op {
@@ -713,6 +746,11 @@ impl Vm {
     /// Allocate, collecting (and retrying) on exhaustion.
     fn alloc(&mut self, req: AllocRequest, current: &Frame) -> Result<ObjId, VmError> {
         self.stats.allocations += 1;
+        if self.stats.allocations >= self.fail_alloc_at {
+            return Err(VmError::InjectedOom {
+                at_allocation: self.stats.allocations,
+            });
+        }
 
         // Kaffe-style incremental marking at allocation sites.
         if self.stats.allocations & INCREMENT_CHECK_MASK == 0 && self.plan.wants_increment() {

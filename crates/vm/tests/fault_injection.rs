@@ -1,0 +1,113 @@
+//! Fault-plan behaviour at the VM level: forced heap exhaustion, step
+//! budgets, typed heap-config errors, and the measurement-path degradation
+//! contract surfacing in the run report.
+
+use vmprobe_bytecode::{ArrKind, Program, ProgramBuilder};
+use vmprobe_heap::CollectorKind;
+use vmprobe_power::FaultPlan;
+use vmprobe_vm::{Vm, VmConfig, VmError};
+
+/// A loop that allocates `n` small int arrays and drops them immediately.
+fn alloc_program(n: i64) -> Program {
+    let mut p = ProgramBuilder::new();
+    let main = p.function("main", 0, 2, |b| {
+        b.for_range(1, 0, n, |b| {
+            b.const_i(4).new_arr(ArrKind::Int).pop();
+        });
+        b.const_i(0).ret_value();
+    });
+    p.finish(main).unwrap()
+}
+
+#[test]
+fn injected_oom_fires_at_the_chosen_allocation() {
+    let faults = FaultPlan::parse("oom@10").unwrap();
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).faults(faults);
+    let err = Vm::new(alloc_program(100), cfg).run().unwrap_err();
+    assert_eq!(err, VmError::InjectedOom { at_allocation: 10 });
+}
+
+#[test]
+fn without_injection_the_same_program_completes() {
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20);
+    let out = Vm::new(alloc_program(100), cfg).run().unwrap();
+    assert_eq!(out.vm.allocations, 100);
+    assert!(out.report.faults.is_clean());
+}
+
+#[test]
+fn step_budget_aborts_long_runs() {
+    let faults = FaultPlan::parse("budget=500").unwrap();
+    let cfg = VmConfig::jikes(CollectorKind::MarkSweep, 1 << 20).faults(faults);
+    let err = Vm::new(alloc_program(10_000), cfg).run().unwrap_err();
+    assert_eq!(err, VmError::StepBudgetExhausted { budget: 500 });
+}
+
+#[test]
+fn try_new_rejects_a_heap_the_collector_cannot_lay_out() {
+    let cfg = VmConfig::jikes(CollectorKind::GenCopy, 64);
+    let err = Vm::try_new(alloc_program(1), cfg).unwrap_err();
+    match err {
+        VmError::HeapConfig {
+            collector,
+            required_bytes,
+            actual_bytes,
+        } => {
+            assert_eq!(collector, "GenCopy");
+            assert_eq!(actual_bytes, 64);
+            assert!(required_bytes > 64);
+        }
+        other => panic!("expected HeapConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn measurement_faults_keep_energy_within_the_reported_bound() {
+    let clean_cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20);
+    let clean = Vm::new(alloc_program(400_000), clean_cfg).run().unwrap();
+
+    let faults = FaultPlan::parse("drop=0.05,dup=0.02,noise=0.01,drift=1e-3,seed=7").unwrap();
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).faults(faults);
+    let out = Vm::new(alloc_program(400_000), cfg).run().unwrap();
+
+    let stats = out.report.faults;
+    assert!(stats.samples_dropped > 0, "5% of samples should drop");
+    // The degradation contract: measured-vs-clean deviation never exceeds
+    // the reported bound.
+    let deviation = out.report.energy_deviation_j();
+    assert!(
+        deviation <= stats.energy_error_bound_j() + 1e-9,
+        "deviation {deviation} exceeds bound {}",
+        stats.energy_error_bound_j()
+    );
+    // The clean ground truth matches an actually-clean run: fault injection
+    // perturbs the measurement, not the workload.
+    let clean_j = clean.report.total_energy.joules();
+    let truth_j = out.report.clean_total_energy.joules();
+    assert!(
+        (clean_j - truth_j).abs() / clean_j < 1e-9,
+        "clean {clean_j} vs fault-run ground truth {truth_j}"
+    );
+}
+
+#[test]
+fn wrap32_counters_are_unwrapped_exactly() {
+    let clean_cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20);
+    let clean = Vm::new(alloc_program(150_000), clean_cfg).run().unwrap();
+
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20)
+        .faults(FaultPlan::parse("wrap32").unwrap());
+    let wrapped = Vm::new(alloc_program(150_000), cfg).run().unwrap();
+
+    // Simulated counters stay far below 2^32 over a short run, so the
+    // unwrapped per-component totals must be bit-identical to the clean run.
+    let total = |out: &vmprobe_vm::RunOutcome| -> u64 {
+        out.report.components.values().map(|p| p.instructions).sum()
+    };
+    assert!(total(&clean) > 0);
+    assert_eq!(
+        total(&clean),
+        total(&wrapped),
+        "unwrapping must reconstruct the clean instruction counts"
+    );
+}

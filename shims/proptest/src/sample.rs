@@ -1,0 +1,21 @@
+//! `prop::sample` — choose from a fixed set.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.items.len() as u64) as usize;
+        self.items[i].clone()
+    }
+}

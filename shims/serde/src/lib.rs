@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes just enough surface for `#[derive(Serialize, Deserialize)]`
+//! annotations to compile: the derive macros (no-ops) and empty marker
+//! traits under the same names. No serialization machinery is provided —
+//! nothing in this workspace invokes one (report JSON is hand-emitted in
+//! `vmprobe::json`). Swapping the workspace dependency back to the real
+//! crates.io `serde` requires no source changes elsewhere.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this shim).
+pub trait Deserialize<'de> {}
