@@ -10,21 +10,10 @@ use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
 use vmprobe_heap::CollectorKind;
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
-    let fig = figures::fig6(&mut runner, &QUICK_HEAPS).expect("fig6 regenerates");
-    let subset: Vec<_> = fig
-        .rows
-        .iter()
-        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
-        .cloned()
-        .collect();
-    println!(
-        "{}",
-        figures::Fig6 {
-            rows: subset,
-            failed: Vec::new()
-        }
-    );
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
+    let fig =
+        figures::fig6(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS).expect("fig6 regenerates");
+    println!("{fig}");
 
     c.bench_function("fig06_one_decomposition_run(javac,ss,32MB)", |b| {
         b.iter(|| {

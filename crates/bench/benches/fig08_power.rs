@@ -7,21 +7,11 @@ use vmprobe_heap::CollectorKind;
 use vmprobe_power::ComponentId;
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
-    let fig = figures::fig8(&mut runner, &QUICK_HEAPS).expect("fig8 regenerates");
-    let subset: Vec<_> = fig
-        .rows
-        .iter()
-        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
-        .cloned()
-        .collect();
-    println!(
-        "{}",
-        figures::Fig8 {
-            rows: subset.clone(),
-            failed: Vec::new(),
-        }
-    );
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
+    let fig =
+        figures::fig8(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS).expect("fig8 regenerates");
+    let subset = fig.rows.clone();
+    println!("{fig}");
 
     // Sanity: for GC-active benchmarks the collector is less power-hungry
     // than the application (paper Section VI-C).

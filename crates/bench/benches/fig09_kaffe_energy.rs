@@ -5,17 +5,12 @@ use vmprobe::{figures, ExperimentConfig, Runner};
 use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
-    let fig = figures::fig9(&mut runner, &QUICK_HEAPS).expect("fig9 regenerates");
-    let subset: Vec<_> = fig
-        .rows
-        .iter()
-        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
-        .cloned()
-        .collect();
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
+    let fig =
+        figures::fig9(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS).expect("fig9 regenerates");
     // Sanity: Kaffe's VM components are far less visible than Jikes's
     // (paper Section VI-D: GC ~7%, CL ~1%, JIT <1%).
-    for row in &subset {
+    for row in &fig.rows {
         let monitored: f64 = row.fractions.iter().map(|(_, v)| v).sum();
         assert!(
             monitored < 0.5,
@@ -24,13 +19,7 @@ fn bench(c: &mut Criterion) {
             row.heap_mb
         );
     }
-    println!(
-        "{}",
-        figures::Fig9 {
-            rows: subset,
-            failed: Vec::new()
-        }
-    );
+    println!("{fig}");
 
     c.bench_function("fig09_one_kaffe_run(javac,64MB)", |b| {
         b.iter(|| {

@@ -5,17 +5,12 @@ use vmprobe::{figures, ExperimentConfig, Runner};
 use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
-    let fig = figures::fig10(&mut runner, &QUICK_HEAPS).expect("fig10 regenerates");
-    let subset: Vec<_> = fig
-        .curves
-        .iter()
-        .filter(|r| QUICK_BENCHMARKS.contains(&r.benchmark.as_str()))
-        .cloned()
-        .collect();
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
+    let fig =
+        figures::fig10(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS).expect("fig10 regenerates");
     // Sanity: the paper finds Kaffe's EDP nearly flat across heap sizes
     // ("EDP changes little when increasing the heap size", Section VI-D).
-    for curve in &subset {
+    for curve in &fig.curves {
         let edps: Vec<f64> = curve.points.iter().map(|(_, e)| *e).collect();
         let (min, max) = edps
             .iter()
@@ -26,13 +21,7 @@ fn bench(c: &mut Criterion) {
             curve.benchmark
         );
     }
-    println!(
-        "{}",
-        figures::Fig10 {
-            curves: subset,
-            failed: Vec::new()
-        }
-    );
+    println!("{fig}");
 
     c.bench_function("fig10_one_kaffe_edp_point(db,64MB)", |b| {
         b.iter(|| ExperimentConfig::kaffe("_209_db", 64).run().expect("runs"));

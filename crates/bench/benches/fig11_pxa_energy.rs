@@ -6,8 +6,13 @@ use vmprobe_bench::QUICK_PXA_HEAPS;
 use vmprobe_power::ComponentId;
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
-    let fig = figures::fig11(&mut runner, &QUICK_PXA_HEAPS).expect("fig11 regenerates");
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
+    let fig = figures::fig11(
+        &mut runner,
+        &figures::pxa_benchmark_names(),
+        &QUICK_PXA_HEAPS,
+    )
+    .expect("fig11 regenerates");
     println!("{fig}");
 
     // Sanity: on the embedded platform the class loader becomes a major

@@ -1,0 +1,42 @@
+//! Sweep-engine scaling: the Figure 6 grid at 1 worker vs all available
+//! workers, plus the acceptance check that parallel output stays
+//! bit-identical to serial.
+//!
+//! Each iteration uses a fresh runner (cold memo) so the pool actually
+//! executes every cell. On a multi-core host the `jobs=N` variant should
+//! regenerate the sweep several times faster than `jobs=1`; on a 1-core
+//! host the two are equivalent (the pool inlines when it has one worker).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmprobe::{default_jobs, figures, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+use vmprobe_workloads::InputScale;
+
+fn sweep(jobs: usize) -> String {
+    let mut runner = Runner::new().jobs(jobs).scale(InputScale::Reduced);
+    figures::fig6(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS)
+        .expect("fig6 regenerates")
+        .to_string()
+}
+
+fn bench(c: &mut Criterion) {
+    let jobs = default_jobs();
+    println!("available parallelism: {jobs}");
+    assert_eq!(
+        sweep(1),
+        sweep(jobs),
+        "parallel sweep output must be bit-identical to serial"
+    );
+
+    c.bench_function("fig06_sweep_jobs_1", |b| b.iter(|| sweep(1)));
+    c.bench_function(&format!("fig06_sweep_jobs_{jobs}"), |b| {
+        b.iter(|| sweep(jobs))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = vmprobe_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

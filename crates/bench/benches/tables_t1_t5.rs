@@ -7,7 +7,7 @@ use vmprobe_bench::{QUICK_HEAPS, QUICK_PXA_HEAPS};
 use vmprobe_heap::CollectorKind;
 
 fn bench(c: &mut Criterion) {
-    let mut runner = Runner::new();
+    let mut runner = Runner::new().jobs(vmprobe::default_jobs());
 
     let t1 = figures::t1_collector_power(&mut runner, &QUICK_HEAPS).expect("t1");
     println!("{t1}");

@@ -1,20 +1,36 @@
 //! Regenerate every figure and table of the paper's evaluation.
 //!
 //! ```text
-//! figures [artifact...]
+//! figures [--jobs N] [artifact...]
 //!   artifacts: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 t1 t2 t3 t4 t5 | all
 //! ```
 //!
 //! With no arguments, regenerates everything (several hundred simulated
 //! runs; a few minutes in release mode). Underlying runs are cached and
-//! shared between artifacts.
+//! shared between artifacts. `--jobs N` sets the worker-thread count for
+//! the parallel sweeps (default: available parallelism); the output is
+//! bit-identical for every value of `N`.
 
 use std::process::ExitCode;
 
-use vmprobe::{figures, Runner, P6_HEAPS_MB, PXA_HEAPS_MB};
+use vmprobe::{default_jobs, figures, Runner, P6_HEAPS_MB, PXA_HEAPS_MB};
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = default_jobs();
+    let mut args = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let Some(n) = raw.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
+            _ => args.push(a),
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "all") {
         args = [
             "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "t1", "t2", "t3",
@@ -24,23 +40,25 @@ fn main() -> ExitCode {
         .to_vec();
     }
 
-    let mut runner = Runner::new().verbose(std::env::var_os("VMPROBE_VERBOSE").is_some());
-    let all_names: Vec<&'static str> = vmprobe_workloads::all_benchmarks()
-        .iter()
-        .map(|b| b.name)
-        .collect();
+    let mut runner = Runner::new()
+        .jobs(jobs)
+        .verbose(std::env::var_os("VMPROBE_VERBOSE").is_some());
+    let all_names = figures::all_benchmark_names();
+    let pxa_names = figures::pxa_benchmark_names();
 
     for a in &args {
         let wall = std::time::Instant::now();
         let result: Result<String, vmprobe::ExperimentError> = match a.as_str() {
             "fig1" => figures::fig1(&mut runner).map(|f| f.to_string()),
             "fig5" => Ok(figures::fig5().to_string()),
-            "fig6" => figures::fig6(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig6" => figures::fig6(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
             "fig7" => figures::fig7(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
-            "fig8" => figures::fig8(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
-            "fig9" => figures::fig9(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
-            "fig10" => figures::fig10(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
-            "fig11" => figures::fig11(&mut runner, &PXA_HEAPS_MB).map(|f| f.to_string()),
+            "fig8" => figures::fig8(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig9" => figures::fig9(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig10" => figures::fig10(&mut runner, &all_names, &P6_HEAPS_MB).map(|f| f.to_string()),
+            "fig11" => {
+                figures::fig11(&mut runner, &pxa_names, &PXA_HEAPS_MB).map(|f| f.to_string())
+            }
             "t1" => figures::t1_collector_power(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
             "t2" => figures::t2_l2_ipc(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),
             "t3" => figures::t3_memory_energy(&mut runner, &P6_HEAPS_MB).map(|f| f.to_string()),

@@ -1,4 +1,5 @@
-//! Command-line runner for a single characterization experiment.
+//! Command-line runner for a single characterization experiment or a
+//! parallel figure sweep.
 //!
 //! ```text
 //! vmprobe-run <benchmark> [collector] [heap_mb] [platform] [scale] [flags]
@@ -6,7 +7,11 @@
 //!   heap_mb:   paper heap label in MB                           (default 64)
 //!   platform:  p6 | pxa255                                      (default p6)
 //!   scale:     full | s10                                       (default full)
+//! vmprobe-run <artifact...> [flags]
+//!   artifacts: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 t1 t2 t3 t4 t5 | all
 //! flags:
+//!   --jobs <n>          worker threads for parallel sweeps (default: available
+//!                       parallelism); output is bit-identical for every value
 //!   --faults <spec>     inject faults, e.g. drop=0.05,dup=0.01,wrap32,oom@1000
 //!   --retries <n>       attempts beyond the first before quarantine (default 2)
 //!   --seed <n>          override the fault plan's seed
@@ -15,17 +20,24 @@
 
 use std::process::ExitCode;
 
-use vmprobe::{ExperimentConfig, FaultPlan, Runner, VmChoice};
+use vmprobe::{default_jobs, figures, ExperimentConfig, FaultPlan, Runner, VmChoice};
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
 use vmprobe_power::ComponentId;
 use vmprobe_workloads::InputScale;
 
+const ARTIFACTS: [&str; 13] = [
+    "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "t1", "t2", "t3", "t4", "t5",
+];
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vmprobe-run <benchmark> [semispace|marksweep|gencopy|genms|kaffe] \
          [heap_mb] [p6|pxa255] [full|s10]\n\
-         \x20      [--faults <spec>] [--retries <n>] [--seed <n>] [--report-json <path>]"
+         \x20      [--jobs <n>] [--faults <spec>] [--retries <n>] [--seed <n>] \
+         [--report-json <path>]\n\
+         \x20  or: vmprobe-run <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|t1..t5|all> \
+         [flags]"
     );
     eprintln!("fault spec keys: drop dup noise wrap32 glitch drift oom@N budget seed");
     eprintln!("benchmarks:");
@@ -45,6 +57,7 @@ fn fail(msg: &str) -> ExitCode {
 #[derive(Default)]
 struct Cli {
     positionals: Vec<String>,
+    jobs: Option<usize>,
     faults: Option<String>,
     retries: Option<u32>,
     seed: Option<u64>,
@@ -73,6 +86,14 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                 return ParseOutcome::Err(format!("--{name} needs a value"));
             };
             match name.as_str() {
+                "jobs" => match value.parse::<usize>() {
+                    Ok(v) if v > 0 => cli.jobs = Some(v),
+                    _ => {
+                        return ParseOutcome::Err(format!(
+                            "--jobs expects a positive integer, got '{value}'"
+                        ))
+                    }
+                },
                 "faults" => cli.faults = Some(value),
                 "retries" => match value.parse() {
                     Ok(v) => cli.retries = Some(v),
@@ -109,6 +130,49 @@ fn write_report(runner: &Runner, dest: &str) -> Result<(), String> {
     std::fs::write(dest, json).map_err(|e| format!("cannot write report to {dest}: {e}"))
 }
 
+/// Regenerate the requested paper artifacts on the parallel sweep engine.
+fn run_figures(cli: &Cli, mut runner: Runner) -> ExitCode {
+    let artifacts: Vec<String> = if cli.positionals.iter().any(|a| a == "all") {
+        ARTIFACTS.map(String::from).to_vec()
+    } else {
+        cli.positionals.clone()
+    };
+    let all_names = figures::all_benchmark_names();
+    let pxa_names = figures::pxa_benchmark_names();
+    let (p6, pxa) = (&vmprobe::P6_HEAPS_MB, &vmprobe::PXA_HEAPS_MB);
+    for a in &artifacts {
+        let result: Result<String, vmprobe::ExperimentError> = match a.as_str() {
+            "fig1" => figures::fig1(&mut runner).map(|f| f.to_string()),
+            "fig5" => Ok(figures::fig5().to_string()),
+            "fig6" => figures::fig6(&mut runner, &all_names, p6).map(|f| f.to_string()),
+            "fig7" => figures::fig7(&mut runner, &all_names, p6).map(|f| f.to_string()),
+            "fig8" => figures::fig8(&mut runner, &all_names, p6).map(|f| f.to_string()),
+            "fig9" => figures::fig9(&mut runner, &all_names, p6).map(|f| f.to_string()),
+            "fig10" => figures::fig10(&mut runner, &all_names, p6).map(|f| f.to_string()),
+            "fig11" => figures::fig11(&mut runner, &pxa_names, pxa).map(|f| f.to_string()),
+            "t1" => figures::t1_collector_power(&mut runner, p6).map(|f| f.to_string()),
+            "t2" => figures::t2_l2_ipc(&mut runner, p6).map(|f| f.to_string()),
+            "t3" => figures::t3_memory_energy(&mut runner, p6).map(|f| f.to_string()),
+            "t4" => figures::t4_headlines(&mut runner).map(|f| f.to_string()),
+            "t5" => figures::t5_kaffe(&mut runner, p6, pxa).map(|f| f.to_string()),
+            other => return fail(&format!("unknown artifact '{other}'")),
+        };
+        match result {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{a} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dest) = &cli.report_json {
+        if let Err(e) = write_report(&runner, dest) {
+            return fail(&e);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(args) {
@@ -119,6 +183,25 @@ fn main() -> ExitCode {
     let Some(bench) = cli.positionals.first() else {
         return usage();
     };
+
+    let mut plan = match cli.faults.as_deref().map(FaultPlan::parse) {
+        None => FaultPlan::none(),
+        Some(Ok(p)) => p,
+        Some(Err(e)) => return fail(&e.to_string()),
+    };
+    if let Some(seed) = cli.seed {
+        plan = plan.with_seed(seed);
+    }
+    let mut runner = Runner::new()
+        .jobs(cli.jobs.unwrap_or_else(default_jobs))
+        .with_faults(plan);
+    if let Some(r) = cli.retries {
+        runner = runner.retries(r);
+    }
+
+    if bench == "all" || ARTIFACTS.contains(&bench.as_str()) {
+        return run_figures(&cli, runner);
+    }
     if cli.positionals.len() > 5 {
         return fail(&format!(
             "unexpected extra argument '{}'",
@@ -168,15 +251,6 @@ fn main() -> ExitCode {
         Some(other) => return fail(&format!("unknown scale '{other}' (expected full or s10)")),
     };
 
-    let mut plan = match cli.faults.as_deref().map(FaultPlan::parse) {
-        None => FaultPlan::none(),
-        Some(Ok(p)) => p,
-        Some(Err(e)) => return fail(&e.to_string()),
-    };
-    if let Some(seed) = cli.seed {
-        plan = plan.with_seed(seed);
-    }
-
     let cfg = ExperimentConfig {
         benchmark: bench.clone(),
         vm,
@@ -185,10 +259,6 @@ fn main() -> ExitCode {
         scale,
         trace_power: false,
     };
-    let mut runner = Runner::new().with_faults(plan);
-    if let Some(r) = cli.retries {
-        runner = runner.retries(r);
-    }
 
     let wall = std::time::Instant::now();
     let result = runner.run(&cfg);

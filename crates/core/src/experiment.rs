@@ -6,7 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use vmprobe_heap::{CollectorKind, GcStats};
 use vmprobe_platform::PlatformKind;
-use vmprobe_power::{ComponentId, FaultPlan, PowerSample, Report};
+use vmprobe_power::{ComponentId, DetRng, FaultPlan, PowerSample, Report};
 use vmprobe_vm::{CompilerStats, Vm, VmConfig, VmError, VmStats};
 use vmprobe_workloads::{benchmark, InputScale};
 
@@ -89,6 +89,22 @@ impl ExperimentConfig {
     pub fn with_trace(mut self) -> Self {
         self.trace_power = true;
         self
+    }
+
+    /// Derive this cell's fault plan from a sweep-level master plan: the
+    /// plan's parameters are kept, but the seed becomes an independent
+    /// deterministic stream keyed by the master seed and [`Self::key`].
+    ///
+    /// This is what makes parallel sweeps replayable: a cell's injected
+    /// faults depend only on (master seed, cell identity), never on how
+    /// many other cells ran, in what order, or on which worker thread.
+    /// Plans that inject nothing pass through untouched.
+    pub fn derive_plan(&self, master: FaultPlan) -> FaultPlan {
+        if master.is_none() {
+            return master;
+        }
+        let mut stream = DetRng::new(master.seed).derive(&self.key());
+        master.with_seed(stream.next_u64())
     }
 
     /// Unique cache key.
@@ -270,6 +286,24 @@ mod tests {
             cfg.run(),
             Err(ExperimentError::UnknownBenchmark(_))
         ));
+    }
+
+    #[test]
+    fn derived_plans_are_stable_per_cell_and_distinct_across_cells() {
+        let master = FaultPlan::parse("drop=0.1,seed=7").unwrap();
+        let a = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        let b = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 48);
+        assert_eq!(a.derive_plan(master), a.derive_plan(master));
+        assert_ne!(a.derive_plan(master).seed, b.derive_plan(master).seed);
+        assert_eq!(a.derive_plan(master).drop_sample, 0.1);
+        // A different master seed moves every cell's stream.
+        assert_ne!(
+            a.derive_plan(master).seed,
+            a.derive_plan(master.with_seed(8)).seed
+        );
+        // No-fault plans pass through untouched (cache keys stay bare).
+        let clean = FaultPlan::none();
+        assert_eq!(a.derive_plan(clean), clean);
     }
 
     #[test]

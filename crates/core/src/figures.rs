@@ -10,13 +10,40 @@
 //! records paper-vs-measured for each.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::Serialize;
 use vmprobe_heap::CollectorKind;
 use vmprobe_power::{ComponentId, ThermalConfig, ThermalSim, Watts};
 use vmprobe_workloads::{all_benchmarks, pxa255_benchmarks, suite_benchmarks, Suite};
 
-use crate::{ExperimentConfig, ExperimentError, FailedCell, Runner, Table, P6_HEAPS_MB};
+use crate::{
+    ExperimentConfig, ExperimentError, FailedCell, RunSummary, Runner, Table, P6_HEAPS_MB,
+};
+
+/// Names of every registered benchmark, in registry order — the default
+/// benchmark list for the full paper-scope sweeps.
+pub fn all_benchmark_names() -> Vec<&'static str> {
+    all_benchmarks().iter().map(|b| b.name).collect()
+}
+
+/// Names of the PXA255 benchmark subset (SpecJVM98 `-s10`).
+pub fn pxa_benchmark_names() -> Vec<&'static str> {
+    pxa255_benchmarks().iter().map(|b| b.name).collect()
+}
+
+/// Propagate the first failure (in submission order) of a strict sweep.
+///
+/// Unlike the serial loops these replaced, the whole grid has already run
+/// in parallel by the time the first error surfaces — later cells are
+/// executed (and cached, and accounted) rather than skipped. The surfaced
+/// error is deterministic: always the earliest failing cell in submission
+/// order, regardless of thread count.
+fn strict(
+    results: Vec<Result<Arc<RunSummary>, ExperimentError>>,
+) -> Result<Vec<Arc<RunSummary>>, ExperimentError> {
+    results.into_iter().collect()
+}
 
 fn write_failed(f: &mut fmt::Formatter<'_>, failed: &[FailedCell]) -> fmt::Result {
     for cell in failed {
@@ -238,8 +265,10 @@ pub struct Fig6 {
     pub failed: Vec<FailedCell>,
 }
 
-/// Regenerate Figure 6 across the given heap labels (defaults:
-/// [`P6_HEAPS_MB`]).
+/// Regenerate Figure 6 for the given benchmarks (paper scope:
+/// [`all_benchmark_names`]) across the given heap labels (defaults:
+/// [`P6_HEAPS_MB`]). The whole grid executes as one parallel batch on the
+/// runner's configured workers.
 ///
 /// Degrades gracefully: a failing or quarantined cell is recorded in
 /// [`Fig6::failed`] (and the runner's [`crate::RunReport`]) and the sweep
@@ -249,17 +278,29 @@ pub struct Fig6 {
 ///
 /// Reserved for sweep-level failures; per-cell failures no longer
 /// propagate.
-pub fn fig6(runner: &mut Runner, heaps: &[u32]) -> Result<Fig6, ExperimentError> {
-    let mut rows = Vec::new();
+pub fn fig6(
+    runner: &mut Runner,
+    benchmarks: &[&str],
+    heaps: &[u32],
+) -> Result<Fig6, ExperimentError> {
+    let configs: Vec<ExperimentConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| {
+            heaps
+                .iter()
+                .map(move |&h| ExperimentConfig::jikes(b, CollectorKind::SemiSpace, h))
+        })
+        .collect();
     let mut failed = Vec::new();
-    for b in all_benchmarks() {
-        for &h in heaps {
-            let cfg = ExperimentConfig::jikes(b.name, CollectorKind::SemiSpace, h);
-            if let Some(run) = runner.cell(&cfg, &mut failed) {
-                rows.push(breakdown_row(b.name, h, &run, &JIKES_COMPONENTS));
-            }
-        }
-    }
+    let runs = runner.cells(&configs, &mut failed);
+    let rows = configs
+        .iter()
+        .zip(&runs)
+        .filter_map(|(cfg, run)| {
+            run.as_ref()
+                .map(|r| breakdown_row(&cfg.benchmark, cfg.heap_mb, r, &JIKES_COMPONENTS))
+        })
+        .collect();
     Ok(Fig6 { rows, failed })
 }
 
@@ -347,7 +388,8 @@ impl EdpCurve {
 }
 
 /// Regenerate Figure 7 for the given benchmarks and heaps (defaults: all
-/// benchmarks, [`P6_HEAPS_MB`]).
+/// benchmarks, [`P6_HEAPS_MB`]). The full benchmark × collector × heap
+/// grid executes as one parallel batch.
 ///
 /// Degrades gracefully: failing cells leave gaps in the affected curves
 /// and are listed in [`Fig7::failed`].
@@ -361,14 +403,22 @@ pub fn fig7(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig7, ExperimentError> {
-    let mut curves = Vec::new();
+    let mut configs = Vec::new();
+    for &name in benchmarks {
+        for collector in CollectorKind::jikes_collectors() {
+            for &h in heaps {
+                configs.push(ExperimentConfig::jikes(name, collector, h));
+            }
+        }
+    }
     let mut failed = Vec::new();
+    let mut runs = runner.cells(&configs, &mut failed).into_iter();
+    let mut curves = Vec::new();
     for &name in benchmarks {
         for collector in CollectorKind::jikes_collectors() {
             let mut points = Vec::new();
             for &h in heaps {
-                let cfg = ExperimentConfig::jikes(name, collector, h);
-                if let Some(run) = runner.cell(&cfg, &mut failed) {
+                if let Some(run) = runs.next().expect("one result per cell") {
                     points.push((h, run.edp()));
                 }
             }
@@ -431,7 +481,9 @@ pub struct Fig8 {
     pub failed: Vec<FailedCell>,
 }
 
-/// Regenerate Figure 8 (GenCopy, aggregated over `heaps`).
+/// Regenerate Figure 8 for the given benchmarks (paper scope:
+/// [`all_benchmark_names`]), GenCopy, aggregated over `heaps`. The grid
+/// executes as one parallel batch.
 ///
 /// Degrades gracefully: failing cells are excluded from each benchmark's
 /// aggregate and listed in [`Fig8::failed`].
@@ -440,19 +492,31 @@ pub struct Fig8 {
 ///
 /// Reserved for sweep-level failures; per-cell failures no longer
 /// propagate.
-pub fn fig8(runner: &mut Runner, heaps: &[u32]) -> Result<Fig8, ExperimentError> {
+pub fn fig8(
+    runner: &mut Runner,
+    benchmarks: &[&str],
+    heaps: &[u32],
+) -> Result<Fig8, ExperimentError> {
     let comps = [
         ComponentId::Application,
         ComponentId::Gc,
         ComponentId::ClassLoader,
     ];
-    let mut rows = Vec::new();
+    let configs: Vec<ExperimentConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| {
+            heaps
+                .iter()
+                .map(move |&h| ExperimentConfig::jikes(b, CollectorKind::GenCopy, h))
+        })
+        .collect();
     let mut failed = Vec::new();
-    for b in all_benchmarks() {
+    let mut runs = runner.cells(&configs, &mut failed).into_iter();
+    let mut rows = Vec::new();
+    for &name in benchmarks {
         let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); comps.len()]; // (energy, time, peak)
-        for &h in heaps {
-            let cfg = ExperimentConfig::jikes(b.name, CollectorKind::GenCopy, h);
-            let Some(run) = runner.cell(&cfg, &mut failed) else {
+        for _ in heaps {
+            let Some(run) = runs.next().expect("one result per cell") else {
                 continue;
             };
             for (i, &c) in comps.iter().enumerate() {
@@ -464,7 +528,7 @@ pub fn fig8(runner: &mut Runner, heaps: &[u32]) -> Result<Fig8, ExperimentError>
             }
         }
         rows.push(PowerRow {
-            benchmark: b.name.to_owned(),
+            benchmark: name.to_owned(),
             components: comps
                 .iter()
                 .zip(&acc)
@@ -514,7 +578,8 @@ pub struct Fig9 {
     pub failed: Vec<FailedCell>,
 }
 
-/// Regenerate Figure 9.
+/// Regenerate Figure 9 for the given benchmarks (paper scope:
+/// [`all_benchmark_names`]). The grid executes as one parallel batch.
 ///
 /// Degrades gracefully: failing cells are listed in [`Fig9::failed`] and
 /// the sweep continues.
@@ -523,17 +588,25 @@ pub struct Fig9 {
 ///
 /// Reserved for sweep-level failures; per-cell failures no longer
 /// propagate.
-pub fn fig9(runner: &mut Runner, heaps: &[u32]) -> Result<Fig9, ExperimentError> {
-    let mut rows = Vec::new();
+pub fn fig9(
+    runner: &mut Runner,
+    benchmarks: &[&str],
+    heaps: &[u32],
+) -> Result<Fig9, ExperimentError> {
+    let configs: Vec<ExperimentConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| heaps.iter().map(move |&h| ExperimentConfig::kaffe(b, h)))
+        .collect();
     let mut failed = Vec::new();
-    for b in all_benchmarks() {
-        for &h in heaps {
-            let cfg = ExperimentConfig::kaffe(b.name, h);
-            if let Some(run) = runner.cell(&cfg, &mut failed) {
-                rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
-            }
-        }
-    }
+    let runs = runner.cells(&configs, &mut failed);
+    let rows = configs
+        .iter()
+        .zip(&runs)
+        .filter_map(|(cfg, run)| {
+            run.as_ref()
+                .map(|r| breakdown_row(&cfg.benchmark, cfg.heap_mb, r, &KAFFE_COMPONENTS))
+        })
+        .collect();
     Ok(Fig9 { rows, failed })
 }
 
@@ -569,7 +642,9 @@ pub struct Fig10 {
     pub failed: Vec<FailedCell>,
 }
 
-/// Regenerate Figure 10.
+/// Regenerate Figure 10 for the given benchmarks (paper scope:
+/// [`all_benchmark_names`]). The grid executes as one parallel batch —
+/// and entirely from cache when Figure 9 already ran on the same runner.
 ///
 /// Degrades gracefully: failing cells leave gaps in the affected curves
 /// and are listed in [`Fig10::failed`].
@@ -578,19 +653,27 @@ pub struct Fig10 {
 ///
 /// Reserved for sweep-level failures; per-cell failures no longer
 /// propagate.
-pub fn fig10(runner: &mut Runner, heaps: &[u32]) -> Result<Fig10, ExperimentError> {
-    let mut curves = Vec::new();
+pub fn fig10(
+    runner: &mut Runner,
+    benchmarks: &[&str],
+    heaps: &[u32],
+) -> Result<Fig10, ExperimentError> {
+    let configs: Vec<ExperimentConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| heaps.iter().map(move |&h| ExperimentConfig::kaffe(b, h)))
+        .collect();
     let mut failed = Vec::new();
-    for b in all_benchmarks() {
+    let mut runs = runner.cells(&configs, &mut failed).into_iter();
+    let mut curves = Vec::new();
+    for &name in benchmarks {
         let mut points = Vec::new();
         for &h in heaps {
-            let cfg = ExperimentConfig::kaffe(b.name, h);
-            if let Some(run) = runner.cell(&cfg, &mut failed) {
+            if let Some(run) = runs.next().expect("one result per cell") {
                 points.push((h, run.edp()));
             }
         }
         curves.push(EdpCurve {
-            benchmark: b.name.to_owned(),
+            benchmark: name.to_owned(),
             collector: CollectorKind::KaffeIncremental,
             points,
         });
@@ -637,8 +720,9 @@ pub struct Fig11 {
     pub failed: Vec<FailedCell>,
 }
 
-/// Regenerate Figure 11 across the PXA255 heap sweep (defaults:
-/// [`crate::PXA_HEAPS_MB`]).
+/// Regenerate Figure 11 for the given benchmarks (paper scope:
+/// [`pxa_benchmark_names`]) across the PXA255 heap sweep (defaults:
+/// [`crate::PXA_HEAPS_MB`]). The grid executes as one parallel batch.
 ///
 /// Degrades gracefully: failing cells are listed in [`Fig11::failed`] and
 /// the sweep continues.
@@ -647,17 +731,29 @@ pub struct Fig11 {
 ///
 /// Reserved for sweep-level failures; per-cell failures no longer
 /// propagate.
-pub fn fig11(runner: &mut Runner, heaps: &[u32]) -> Result<Fig11, ExperimentError> {
-    let mut rows = Vec::new();
+pub fn fig11(
+    runner: &mut Runner,
+    benchmarks: &[&str],
+    heaps: &[u32],
+) -> Result<Fig11, ExperimentError> {
+    let configs: Vec<ExperimentConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| {
+            heaps
+                .iter()
+                .map(move |&h| ExperimentConfig::kaffe_pxa(b, h))
+        })
+        .collect();
     let mut failed = Vec::new();
-    for b in pxa255_benchmarks() {
-        for &h in heaps {
-            let cfg = ExperimentConfig::kaffe_pxa(b.name, h);
-            if let Some(run) = runner.cell(&cfg, &mut failed) {
-                rows.push(breakdown_row(b.name, h, &run, &KAFFE_COMPONENTS));
-            }
-        }
-    }
+    let runs = runner.cells(&configs, &mut failed);
+    let rows = configs
+        .iter()
+        .zip(&runs)
+        .filter_map(|(cfg, run)| {
+            run.as_ref()
+                .map(|r| breakdown_row(&cfg.benchmark, cfg.heap_mb, r, &KAFFE_COMPONENTS))
+        })
+        .collect();
     Ok(Fig11 { rows, failed })
 }
 
@@ -695,22 +791,34 @@ pub struct T1CollectorPower {
     pub rows: Vec<(CollectorKind, f64)>,
 }
 
-/// Regenerate T1 across `heaps`.
+/// Regenerate T1 across `heaps`. The full collector × benchmark × heap
+/// grid executes as one parallel batch before aggregation.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the first failing run (in submission order, after the whole
+/// grid has executed).
 pub fn t1_collector_power(
     runner: &mut Runner,
     heaps: &[u32],
 ) -> Result<T1CollectorPower, ExperimentError> {
+    let benches = suite_benchmarks(Suite::SpecJvm98);
+    let mut configs = Vec::new();
+    for collector in CollectorKind::jikes_collectors() {
+        for b in &benches {
+            for &h in heaps {
+                configs.push(ExperimentConfig::jikes(b.name, collector, h));
+            }
+        }
+    }
+    let mut runs = strict(runner.run_batch(&configs))?.into_iter();
     let mut rows = Vec::new();
     for collector in CollectorKind::jikes_collectors() {
         let mut energy = 0.0;
         let mut time = 0.0;
-        for b in suite_benchmarks(Suite::SpecJvm98) {
-            for &h in heaps {
-                let run = runner.run(&ExperimentConfig::jikes(b.name, collector, h))?;
+        for _ in &benches {
+            for _ in heaps {
+                let run = runs.next().expect("one result per cell");
                 if let Some(gc) = run.report.component(ComponentId::Gc) {
                     energy += gc.energy.joules();
                     time += gc.time.seconds();
@@ -744,14 +852,24 @@ pub struct T2L2Ipc {
     pub rows: Vec<(ComponentId, Suite, f64, f64)>,
 }
 
-/// Regenerate T2 for SpecJVM98 and DaCapo under GenCopy at `heaps`.
+/// Regenerate T2 for SpecJVM98 and DaCapo under GenCopy at `heaps`. Each
+/// suite's benchmark × heap grid executes as one parallel batch.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the first failing run (in submission order, after the whole
+/// grid has executed).
 pub fn t2_l2_ipc(runner: &mut Runner, heaps: &[u32]) -> Result<T2L2Ipc, ExperimentError> {
     let mut rows = Vec::new();
     for suite in [Suite::SpecJvm98, Suite::DaCapo] {
+        let benches = suite_benchmarks(suite);
+        let mut configs = Vec::new();
+        for b in &benches {
+            for &h in heaps {
+                configs.push(ExperimentConfig::jikes(b.name, CollectorKind::GenCopy, h));
+            }
+        }
+        let runs = strict(runner.run_batch(&configs))?;
         for comp in [
             ComponentId::Gc,
             ComponentId::ClassLoader,
@@ -761,10 +879,8 @@ pub fn t2_l2_ipc(runner: &mut Runner, heaps: &[u32]) -> Result<T2L2Ipc, Experime
             let mut cycles = 0.0;
             let mut l2m = 0.0;
             let mut l2a = 0.0;
-            for b in suite_benchmarks(suite) {
-                for &h in heaps {
-                    let run =
-                        runner.run(&ExperimentConfig::jikes(b.name, CollectorKind::GenCopy, h))?;
+            for run in &runs {
+                {
                     if let Some(p) = run.report.component(comp) {
                         // Reconstruct sums from the profile's ratios and
                         // instruction counts.
@@ -827,29 +943,30 @@ pub struct T3MemoryEnergy {
     pub rows: Vec<(Suite, f64)>,
 }
 
-/// Regenerate T3 under Jikes + SemiSpace at `heaps`.
+/// Regenerate T3 under Jikes + SemiSpace at `heaps`. Each suite's
+/// benchmark × heap grid executes as one parallel batch.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the first failing run (in submission order, after the whole
+/// grid has executed).
 pub fn t3_memory_energy(
     runner: &mut Runner,
     heaps: &[u32],
 ) -> Result<T3MemoryEnergy, ExperimentError> {
     let mut rows = Vec::new();
     for suite in [Suite::SpecJvm98, Suite::DaCapo, Suite::JavaGrande] {
-        let mut mem = 0.0;
-        let mut total = 0.0;
+        let mut configs = Vec::new();
         for b in suite_benchmarks(suite) {
             for &h in heaps {
-                let run = runner.run(&ExperimentConfig::jikes(
-                    b.name,
-                    CollectorKind::SemiSpace,
-                    h,
-                ))?;
-                mem += run.report.mem_energy.joules();
-                total += run.report.total_energy.joules();
+                configs.push(ExperimentConfig::jikes(b.name, CollectorKind::SemiSpace, h));
             }
+        }
+        let mut mem = 0.0;
+        let mut total = 0.0;
+        for run in strict(runner.run_batch(&configs))? {
+            mem += run.report.mem_energy.joules();
+            total += run.report.total_energy.joules();
         }
         rows.push((suite, if total > 0.0 { mem / total } else { 0.0 }));
     }
@@ -906,7 +1023,7 @@ pub struct T4Headlines {
 ///
 /// Propagates the first failing run.
 pub fn t4_headlines(runner: &mut Runner) -> Result<T4Headlines, ExperimentError> {
-    let fig6 = fig6(runner, &P6_HEAPS_MB)?;
+    let fig6 = fig6(runner, &all_benchmark_names(), &P6_HEAPS_MB)?;
     let names: Vec<&str> = ["_213_javac", "_227_mtrt", "euler", "_209_db"].to_vec();
     let fig7 = fig7(runner, &names, &P6_HEAPS_MB)?;
 
@@ -1058,22 +1175,36 @@ pub struct T5Kaffe {
 }
 
 /// Regenerate T5 (`p6_heaps` for the P6 sweep, `pxa_heaps` for the board).
+/// Both grids execute as one parallel batch each.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the first failing run (in submission order, after the whole
+/// grid has executed).
 pub fn t5_kaffe(
     runner: &mut Runner,
     p6_heaps: &[u32],
     pxa_heaps: &[u32],
 ) -> Result<T5Kaffe, ExperimentError> {
+    let mut p6_configs = Vec::new();
+    for b in all_benchmarks() {
+        for &h in p6_heaps {
+            p6_configs.push(ExperimentConfig::kaffe(b.name, h));
+        }
+    }
+    let mut pxa_configs = Vec::new();
+    for b in pxa255_benchmarks() {
+        for &h in pxa_heaps {
+            pxa_configs.push(ExperimentConfig::kaffe_pxa(b.name, h));
+        }
+    }
+
     let mut p6 = [0.0f64; 3];
     let mut n = 0usize;
     let mut gc_energy = 0.0;
     let mut gc_time = 0.0;
-    for b in all_benchmarks() {
-        for &h in p6_heaps {
-            let run = runner.run(&ExperimentConfig::kaffe(b.name, h))?;
+    {
+        for run in strict(runner.run_batch(&p6_configs))? {
             p6[0] += run.fraction(ComponentId::Gc);
             p6[1] += run.fraction(ComponentId::ClassLoader);
             p6[2] += run.fraction(ComponentId::JitCompiler);
@@ -1089,9 +1220,8 @@ pub fn t5_kaffe(
     let mut pxa = [0.0f64; 3];
     let mut powers = [(0.0f64, 0.0f64); 3]; // (energy, time) for GC, App, CL
     let mut m = 0usize;
-    for b in pxa255_benchmarks() {
-        for &h in pxa_heaps {
-            let run = runner.run(&ExperimentConfig::kaffe_pxa(b.name, h))?;
+    {
+        for run in strict(runner.run_batch(&pxa_configs))? {
             pxa[0] += run.fraction(ComponentId::Gc);
             pxa[1] += run.fraction(ComponentId::ClassLoader);
             pxa[2] += run.fraction(ComponentId::JitCompiler);

@@ -42,10 +42,12 @@ pub mod figures;
 pub mod json;
 mod runner;
 mod scale;
+pub mod sweep;
 mod table;
 
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
 pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};
+pub use sweep::{default_jobs, ShardedMemo, WorkStealingPool};
 pub use table::Table;
 pub use vmprobe_power::{FaultPlan, FaultSpecError, FaultStats};

@@ -1,12 +1,17 @@
-//! Supervised, cached experiment execution.
+//! Supervised, cached, parallel experiment execution.
 //!
 //! Several of the paper's figures draw on the same underlying runs (the
 //! SemiSpace sweep feeds both the Figure 6 decomposition and the Figure 7
 //! EDP curves), and real measurement campaigns lose cells to rig faults.
-//! The [`SupervisedRunner`] therefore does three jobs:
+//! The [`SupervisedRunner`] therefore does four jobs:
 //!
 //! * **memoize** — runs are fully deterministic, so each configuration is
-//!   paid for exactly once per process;
+//!   paid for exactly once per process, enforced by a sharded concurrent
+//!   memo ([`crate::sweep::ShardedMemo`]) even when many workers race for
+//!   the same cell;
+//! * **parallelize** — figure sweeps submit their whole grid as one batch
+//!   and a work-stealing pool ([`crate::sweep::WorkStealingPool`]) spreads
+//!   the independent cells over [`SupervisedRunner::jobs`] workers;
 //! * **supervise** — a failing configuration is retried up to a configured
 //!   budget with capped, deterministic exponential backoff (recorded as
 //!   *virtual* milliseconds, never slept), then **quarantined**: the
@@ -14,6 +19,16 @@
 //! * **account** — every run's injected-fault ledger, every retry, and
 //!   every quarantined or failed cell is aggregated into a machine-readable
 //!   [`RunReport`].
+//!
+//! # Determinism contract
+//!
+//! Batch results and the `RunReport` are **bit-identical regardless of
+//! thread count**: cells are pure functions of their configuration (fault
+//! seeds are derived per cell from the master seed and the cell key, see
+//! [`crate::ExperimentConfig::derive_plan`]), duplicate cells are resolved
+//! to their first occurrence *before* dispatch, and all report mutation
+//! happens on the calling thread in batch submission order after the pool
+//! drains. Only `verbose` stderr diagnostics may interleave differently.
 //!
 //! Fault plans are attached at the runner level: a default plan applies to
 //! every configuration, and per-benchmark overrides let one benchmark fail
@@ -25,8 +40,10 @@ use std::sync::Arc;
 
 use vmprobe_power::{FaultPlan, FaultStats};
 use vmprobe_vm::VmError;
+use vmprobe_workloads::InputScale;
 
 use crate::json::JsonObj;
+use crate::sweep::{ShardedMemo, WorkStealingPool};
 use crate::{ExperimentConfig, ExperimentError, RunSummary};
 
 /// First retry waits this many virtual milliseconds.
@@ -45,12 +62,32 @@ fn backoff_ms(retry: u32) -> u64 {
         .min(BACKOFF_CAP_MS)
 }
 
-/// Negative-cache entry for a failing configuration.
+/// Terminal negative memo entry: the configuration exhausted its retry
+/// budget and is quarantined.
 #[derive(Debug, Clone)]
-struct FailureRecord {
+struct StoredFailure {
     attempts: u32,
-    quarantined: bool,
     last_error: String,
+    underlying: ExperimentError,
+}
+
+/// What the memo publishes per cell: the shared summary, or the quarantined
+/// failure every later request replays without executing anything.
+type CellResult = Result<Arc<RunSummary>, StoredFailure>;
+
+/// Everything one *executing* cell contributes to the campaign report.
+/// Produced on a worker thread, merged on the calling thread in batch
+/// submission order.
+#[derive(Debug, Default)]
+struct ExecutionRecord {
+    attempts_failed: u64,
+    retries: u64,
+    backoff_ms: u64,
+    injected_oom: u64,
+    budget_exhausted: u64,
+    /// Fault ledger of the successful run, when there was one.
+    success_faults: Option<FaultStats>,
+    quarantined: Option<QuarantinedConfig>,
 }
 
 /// One cell a tolerant figure sweep could not fill.
@@ -175,14 +212,15 @@ impl RunReport {
     }
 }
 
-/// Supervised memoizing experiment runner (see the module docs).
+/// Supervised memoizing parallel experiment runner (see the module docs).
 #[derive(Debug, Default)]
 pub struct SupervisedRunner {
-    cache: HashMap<String, Arc<RunSummary>>,
-    failures: HashMap<String, FailureRecord>,
+    memo: ShardedMemo<CellResult>,
+    jobs: usize,
     default_faults: FaultPlan,
     overrides: HashMap<String, FaultPlan>,
     max_retries: u32,
+    scale_override: Option<InputScale>,
     report: RunReport,
     seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
@@ -192,9 +230,11 @@ pub struct SupervisedRunner {
 pub type Runner = SupervisedRunner;
 
 impl SupervisedRunner {
-    /// A fresh runner: empty cache, no fault plan, default retry budget.
+    /// A fresh runner: empty cache, no fault plan, default retry budget,
+    /// one worker.
     pub fn new() -> Self {
         Self {
+            jobs: 1,
             max_retries: DEFAULT_RETRIES,
             ..Self::default()
         }
@@ -206,7 +246,22 @@ impl SupervisedRunner {
         self
     }
 
-    /// Apply `plan` to every configuration this runner executes.
+    /// Run batches on `jobs` worker threads (clamped to at least 1).
+    /// Results are bit-identical for any value — see the module docs.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn jobs_configured(&self) -> usize {
+        self.jobs
+    }
+
+    /// Apply `plan` to every configuration this runner executes. Each cell
+    /// derives its own independent fault stream from the plan's seed and
+    /// the cell key, so results do not depend on sweep composition or
+    /// execution order.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.default_faults = plan;
         self
@@ -227,12 +282,33 @@ impl SupervisedRunner {
         self
     }
 
-    /// The fault plan that would apply to `benchmark`.
+    /// Force every configuration to the given input scale. A test/CI knob:
+    /// the determinism suite sweeps the full figure grids at `Reduced`
+    /// scale to keep wall-clock sane without shrinking the grid shape.
+    pub fn scale(mut self, scale: InputScale) -> Self {
+        self.scale_override = Some(scale);
+        self
+    }
+
+    /// The fault plan that would apply to `benchmark` (before per-cell
+    /// seed derivation).
     pub fn effective_plan(&self, benchmark: &str) -> FaultPlan {
         self.overrides
             .get(benchmark)
             .copied()
             .unwrap_or(self.default_faults)
+    }
+
+    /// The configuration as actually executed (scale override applied).
+    fn effective_config(&self, config: &ExperimentConfig) -> ExperimentConfig {
+        match self.scale_override {
+            None => config.clone(),
+            Some(scale) => {
+                let mut c = config.clone();
+                c.scale = scale;
+                c
+            }
+        }
     }
 
     fn cache_key(&self, config: &ExperimentConfig) -> String {
@@ -253,66 +329,125 @@ impl SupervisedRunner {
     /// exhausted; [`ExperimentError::Quarantined`] (without executing
     /// anything) on every subsequent request for that configuration.
     pub fn run(&mut self, config: &ExperimentConfig) -> Result<Arc<RunSummary>, ExperimentError> {
-        let key = self.cache_key(config);
-        if let Some(hit) = self.cache.get(&key) {
-            return Ok(Arc::clone(hit));
-        }
-        if let Some(rec) = self.failures.get(&key) {
-            if rec.quarantined {
-                self.report.quarantine_hits += 1;
-                return Err(ExperimentError::Quarantined {
-                    config: Box::new(config.clone()),
-                    attempts: rec.attempts,
-                    last_error: rec.last_error.clone(),
-                });
+        self.run_batch(std::slice::from_ref(config))
+            .pop()
+            .expect("one result per submitted config")
+    }
+
+    /// Execute a whole batch of cells, in parallel on the runner's
+    /// configured worker count, and return one result per submitted
+    /// configuration **in submission order**.
+    ///
+    /// Duplicate configurations are resolved to their first occurrence
+    /// before dispatch, so no cell is ever executed twice; cells already
+    /// in the memo (from earlier sweeps) are served from cache. Report
+    /// accounting is merged in submission order after the pool drains,
+    /// making the [`RunReport`] independent of thread count.
+    pub fn run_batch(
+        &mut self,
+        configs: &[ExperimentConfig],
+    ) -> Vec<Result<Arc<RunSummary>, ExperimentError>> {
+        let cells: Vec<(ExperimentConfig, String)> = configs
+            .iter()
+            .map(|c| {
+                let effective = self.effective_config(c);
+                let key = self.cache_key(&effective);
+                (effective, key)
+            })
+            .collect();
+
+        // First occurrence of each key; only unresolved first occurrences
+        // are dispatched to the pool.
+        let mut first: HashMap<&str, usize> = HashMap::new();
+        let mut tasks: Vec<usize> = Vec::new();
+        for (i, (_, key)) in cells.iter().enumerate() {
+            if !first.contains_key(key.as_str()) {
+                first.insert(key, i);
+                if self.memo.peek(key).is_none() {
+                    tasks.push(i);
+                }
             }
         }
-        let plan = self.effective_plan(&config.benchmark);
-        loop {
-            let prior_attempts = self.failures.get(&key).map_or(0, |r| r.attempts);
+
+        let pool = WorkStealingPool::new(self.jobs);
+        let memo = &self.memo;
+        let overrides = &self.overrides;
+        let default_faults = self.default_faults;
+        let max_retries = self.max_retries;
+        let verbose = self.verbose;
+        let executed: Vec<(usize, Option<ExecutionRecord>)> = pool.run(
+            tasks.iter().map(|&i| (i, &cells[i])).collect(),
+            |_, (i, (config, key))| {
+                let master = overrides
+                    .get(&config.benchmark)
+                    .copied()
+                    .unwrap_or(default_faults);
+                let plan = config.derive_plan(master);
+                let mut record = None;
+                let (_, _) = memo.get_or_compute(key, || {
+                    let (result, rec) = execute_cell(config, plan, max_retries, verbose);
+                    record = Some(rec);
+                    result
+                });
+                (i, record)
+            },
+        );
+
+        let mut records: HashMap<usize, ExecutionRecord> = executed
+            .into_iter()
+            .filter_map(|(i, rec)| rec.map(|r| (i, r)))
+            .collect();
+
+        // Merge in submission order — the determinism contract.
+        let mut out = Vec::with_capacity(cells.len());
+        for (i, (config, key)) in cells.iter().enumerate() {
+            let executed_here = first.get(key.as_str()) == Some(&i) && records.contains_key(&i);
+            if let Some(rec) = records.remove(&i) {
+                self.apply_record(rec);
+            }
+            let value = self
+                .memo
+                .peek(key)
+                .expect("every batch key resolves before merge");
+            match value {
+                Ok(summary) => out.push(Ok(summary)),
+                Err(failure) => {
+                    if executed_here {
+                        // The executing occurrence surfaces the underlying
+                        // error, exactly like the serial retry loop did.
+                        out.push(Err(failure.underlying.clone()));
+                    } else {
+                        self.report.quarantine_hits += 1;
+                        out.push(Err(ExperimentError::Quarantined {
+                            config: Box::new(config.clone()),
+                            attempts: failure.attempts,
+                            last_error: failure.last_error.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_record(&mut self, rec: ExecutionRecord) {
+        self.report.attempts_failed += rec.attempts_failed;
+        self.report.retries += rec.retries;
+        self.report.backoff_virtual_ms += rec.backoff_ms;
+        self.report.faults.injected_oom += rec.injected_oom;
+        self.report.faults.budget_exhausted += rec.budget_exhausted;
+        if let Some(faults) = rec.success_faults {
+            self.report.runs_ok += 1;
+            self.report.faults.merge(&faults);
+        }
+        if let Some(q) = rec.quarantined {
             if self.verbose {
                 eprintln!(
-                    "[vmprobe] running {config} (attempt {})",
-                    prior_attempts + 1
+                    "[vmprobe] quarantined {} after {} attempts",
+                    q.config, q.attempts
                 );
             }
-            match config.run_with_faults(plan) {
-                Ok(summary) => {
-                    let summary = Arc::new(summary);
-                    self.report.runs_ok += 1;
-                    self.report.faults.merge(&summary.report.faults);
-                    self.cache.insert(key, Arc::clone(&summary));
-                    return Ok(summary);
-                }
-                Err(e) => {
-                    self.report.attempts_failed += 1;
-                    self.note_forced_fault(&e);
-                    let attempts = prior_attempts + 1;
-                    let quarantine = attempts > self.max_retries;
-                    self.failures.insert(
-                        key.clone(),
-                        FailureRecord {
-                            attempts,
-                            quarantined: quarantine,
-                            last_error: e.to_string(),
-                        },
-                    );
-                    if quarantine {
-                        self.report.quarantined.push(QuarantinedConfig {
-                            config: config.to_string(),
-                            benchmark: config.benchmark.clone(),
-                            attempts,
-                            last_error: e.to_string(),
-                        });
-                        if self.verbose {
-                            eprintln!("[vmprobe] quarantined {config} after {attempts} attempts");
-                        }
-                        return Err(e);
-                    }
-                    self.report.retries += 1;
-                    self.report.backoff_virtual_ms += backoff_ms(attempts);
-                }
-            }
+            self.report.quarantined.push(q);
         }
     }
 
@@ -324,40 +459,99 @@ impl SupervisedRunner {
         config: &ExperimentConfig,
         failed: &mut Vec<FailedCell>,
     ) -> Option<Arc<RunSummary>> {
-        match self.run(config) {
-            Ok(s) => Some(s),
-            Err(e) => {
-                let cell = FailedCell::new(config, &e);
-                let sig = (cell.benchmark.clone(), cell.heap_mb, cell.vm.clone());
-                if self.seen_failed_cells.insert(sig) {
-                    self.report.failed_cells.push(cell.clone());
-                }
-                failed.push(cell);
-                None
-            }
-        }
+        self.cells(std::slice::from_ref(config), failed)
+            .pop()
+            .expect("one result per submitted config")
     }
 
-    /// Fold forced VM faults (which abort runs rather than perturb
-    /// measurements) into the campaign fault ledger.
-    fn note_forced_fault(&mut self, e: &ExperimentError) {
-        if let ExperimentError::Vm { source, .. } = e {
-            match source {
-                VmError::InjectedOom { .. } => self.report.faults.injected_oom += 1,
-                VmError::StepBudgetExhausted { .. } => self.report.faults.budget_exhausted += 1,
-                _ => {}
-            }
-        }
+    /// Tolerant **batch** execution for figure sweeps: the whole grid runs
+    /// in parallel, failures are recorded as [`FailedCell`]s (in `failed`
+    /// and, deduplicated, in the [`RunReport`]) and the corresponding
+    /// slots come back `None`.
+    pub fn cells(
+        &mut self,
+        configs: &[ExperimentConfig],
+        failed: &mut Vec<FailedCell>,
+    ) -> Vec<Option<Arc<RunSummary>>> {
+        let results = self.run_batch(configs);
+        configs
+            .iter()
+            .zip(results)
+            .map(|(config, result)| match result {
+                Ok(summary) => Some(summary),
+                Err(e) => {
+                    let cell = FailedCell::new(config, &e);
+                    let sig = (cell.benchmark.clone(), cell.heap_mb, cell.vm.clone());
+                    if self.seen_failed_cells.insert(sig) {
+                        self.report.failed_cells.push(cell.clone());
+                    }
+                    failed.push(cell);
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Number of distinct runs executed successfully so far.
     pub fn runs_executed(&self) -> usize {
-        self.cache.len()
+        self.memo.count_matching(|v| v.is_ok())
     }
 
     /// The campaign report accumulated so far.
     pub fn report(&self) -> &RunReport {
         &self.report
+    }
+}
+
+/// The per-cell retry loop: runs on a pool worker, touches no shared
+/// state, and reports everything it did through the returned record.
+fn execute_cell(
+    config: &ExperimentConfig,
+    plan: FaultPlan,
+    max_retries: u32,
+    verbose: bool,
+) -> (CellResult, ExecutionRecord) {
+    let mut rec = ExecutionRecord::default();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if verbose {
+            eprintln!("[vmprobe] running {config} (attempt {attempts})");
+        }
+        match config.run_with_faults(plan) {
+            Ok(summary) => {
+                rec.success_faults = Some(summary.report.faults);
+                return (Ok(Arc::new(summary)), rec);
+            }
+            Err(e) => {
+                rec.attempts_failed += 1;
+                if let ExperimentError::Vm { source, .. } = &e {
+                    match source {
+                        VmError::InjectedOom { .. } => rec.injected_oom += 1,
+                        VmError::StepBudgetExhausted { .. } => rec.budget_exhausted += 1,
+                        _ => {}
+                    }
+                }
+                if attempts > max_retries {
+                    rec.quarantined = Some(QuarantinedConfig {
+                        config: config.to_string(),
+                        benchmark: config.benchmark.clone(),
+                        attempts,
+                        last_error: e.to_string(),
+                    });
+                    return (
+                        Err(StoredFailure {
+                            attempts,
+                            last_error: e.to_string(),
+                            underlying: e,
+                        }),
+                        rec,
+                    );
+                }
+                rec.retries += 1;
+                rec.backoff_ms += backoff_ms(attempts);
+            }
+        }
     }
 }
 
@@ -464,5 +658,53 @@ mod tests {
         assert!(r.report().faults.samples_dropped > 0);
         // Degradation contract at the campaign level.
         assert!(run.report.energy_deviation_j() <= run.report.faults.energy_error_bound_j() + 1e-9);
+    }
+
+    #[test]
+    fn batch_resolves_duplicates_without_reexecution() {
+        let mut r = Runner::new().jobs(4);
+        let cfg = quick("search");
+        let batch = vec![cfg.clone(), cfg.clone(), cfg.clone()];
+        let results = r.run_batch(&batch);
+        assert_eq!(results.len(), 3);
+        let first = results[0].as_ref().expect("runs").clone();
+        for res in &results {
+            assert!(Arc::ptr_eq(res.as_ref().unwrap(), &first));
+        }
+        assert_eq!(r.runs_executed(), 1);
+        assert_eq!(r.report().runs_ok, 1);
+    }
+
+    #[test]
+    fn batch_duplicate_of_quarantined_cell_counts_a_hit() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(1).fault_override("moldyn", oom);
+        let cfg = quick("moldyn");
+        let results = r.run_batch(&[cfg.clone(), cfg.clone()]);
+        // First occurrence surfaces the underlying error, the duplicate is
+        // a quarantine hit — exactly as two sequential run() calls.
+        assert!(matches!(results[0], Err(ExperimentError::Vm { .. })));
+        assert!(matches!(
+            results[1],
+            Err(ExperimentError::Quarantined { .. })
+        ));
+        assert_eq!(r.report().attempts_failed, 2, "1 + 1 retry, once");
+        assert_eq!(r.report().quarantine_hits, 1);
+        assert_eq!(r.report().quarantined.len(), 1);
+    }
+
+    #[test]
+    fn scale_override_rewrites_every_config() {
+        let mut r = Runner::new().scale(InputScale::Reduced);
+        let full = ExperimentConfig::jikes("search", CollectorKind::SemiSpace, 32);
+        let run = r.run(&full).expect("runs");
+        assert_eq!(run.config.scale, InputScale::Reduced);
+        // The cache key is the effective (reduced) one: requesting the
+        // reduced config directly hits the same entry.
+        let mut reduced = full;
+        reduced.scale = InputScale::Reduced;
+        let again = r.run(&reduced).expect("cached");
+        assert!(Arc::ptr_eq(&run, &again));
+        assert_eq!(r.runs_executed(), 1);
     }
 }

@@ -1,0 +1,398 @@
+//! The parallel sweep engine: a work-stealing thread pool plus a sharded
+//! concurrent memo cache.
+//!
+//! The paper's evaluation is a large cross-product of configurations —
+//! {Jikes, Kaffe} × four collectors × heap sizes × sixteen benchmarks —
+//! and every cell is an independent, fully deterministic simulation. The
+//! engine exploits that: a figure sweep submits its whole grid as one
+//! batch, the [`WorkStealingPool`] executes the cells on however many
+//! worker threads were requested, and the [`ShardedMemo`] guarantees each
+//! distinct configuration is computed **at most once** no matter how many
+//! sweeps or threads ask for it.
+//!
+//! # Determinism contract
+//!
+//! Thread count must never change results. The engine's side of the
+//! contract:
+//!
+//! * **execution is order-free** — every cell is a pure function of its
+//!   configuration (per-cell fault seeds are derived from the master seed
+//!   and the cell key, never from shared RNG state), so cells may run in
+//!   any order on any worker;
+//! * **merging is ordered** — the supervised runner folds per-cell
+//!   outcomes into figure rows and the campaign [`crate::RunReport`] in
+//!   batch submission order, never completion order.
+//!
+//! Together these make a sweep's figure tables, `RunReport` JSON, and
+//! fault ledgers bit-identical for `--jobs 1` and `--jobs N`
+//! (`tests/parallel_determinism.rs` enforces this).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+// ------------------------------------------------------- work-stealing pool
+
+/// A batch-oriented work-stealing scheduler.
+///
+/// Each worker owns a deque seeded round-robin with the batch's tasks;
+/// a worker pops its own deque from the back (LIFO, cache-warm) and, when
+/// empty, steals from the front of a sibling's deque (FIFO, oldest work
+/// first). Because batches are closed — no task spawns further tasks —
+/// an empty scan over every deque is a correct termination condition and
+/// no idle-worker parking is needed.
+#[derive(Debug, Clone)]
+pub struct WorkStealingPool {
+    jobs: usize,
+}
+
+impl WorkStealingPool {
+    /// A pool that runs batches on `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `task` over every item and return the results **in item
+    /// order**, regardless of which worker executed what when.
+    ///
+    /// With one worker (or one item) the batch runs inline on the calling
+    /// thread — the serial path and the parallel path share every line of
+    /// per-cell code.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any task after the batch winds down.
+    pub fn run<I, T, F>(&self, items: Vec<I>, task: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect();
+        }
+
+        let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            deques[i % workers].lock().unwrap().push_back((i, item));
+        }
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let task = &task;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let job = deques[w].lock().unwrap().pop_back().or_else(|| {
+                                (1..workers).find_map(|k| {
+                                    deques[(w + k) % workers].lock().unwrap().pop_front()
+                                })
+                            });
+                            match job {
+                                Some((i, item)) => out.push((i, task(i, item))),
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, t) in h.join().expect("sweep worker panicked") {
+                    results[i] = Some(t);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|t| t.expect("every cell completed"))
+            .collect()
+    }
+}
+
+// ------------------------------------------------------------ sharded memo
+
+/// How many independently locked shards the memo spreads keys over.
+const SHARD_COUNT: usize = 16;
+
+#[derive(Debug)]
+enum Slot<V> {
+    /// Some thread claimed the key and is computing; waiters block on the
+    /// shard condvar.
+    InFlight,
+    /// The computed value.
+    Ready(V),
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: Mutex<HashMap<String, Slot<V>>>,
+    ready: Condvar,
+}
+
+/// A sharded concurrent memo: at most one computation per key, ever.
+///
+/// `get_or_compute` claims a key under the shard lock, computes **outside**
+/// the lock, then publishes and wakes waiters — so two cells hashing to
+/// the same shard never serialize their (multi-second) simulations, only
+/// their map accesses. This replaces the supervised runner's former
+/// single-threaded positive/negative `HashMap` caches.
+#[derive(Debug)]
+pub struct ShardedMemo<V> {
+    shards: Vec<Shard<V>>,
+}
+
+impl<V> Default for ShardedMemo<V> {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Removes an in-flight claim if the computing closure panics, so waiters
+/// wake and retry instead of deadlocking on a slot no one will fill.
+struct ClaimGuard<'a, V> {
+    shard: &'a Shard<V>,
+    key: &'a str,
+    armed: bool,
+}
+
+impl<V> Drop for ClaimGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = self.shard.map.lock().unwrap();
+            map.remove(self.key);
+            self.shard.ready.notify_all();
+        }
+    }
+}
+
+impl<V: Clone> ShardedMemo<V> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &str) -> &Shard<V> {
+        // FNV-1a; only shard balance matters here.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in key.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h % SHARD_COUNT as u64) as usize]
+    }
+
+    /// The value for `key` if it is already published (`None` while absent
+    /// or still in flight — never blocks).
+    pub fn peek(&self, key: &str) -> Option<V> {
+        match self.shard(key).map.lock().unwrap().get(key) {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            Some(Slot::InFlight) | None => None,
+        }
+    }
+
+    /// Return the published value for `key`, or claim the key and compute
+    /// it. Concurrent callers for the same key block until the computing
+    /// thread publishes, then all observe the identical value; `compute`
+    /// runs **at most once per key** across all threads for the lifetime
+    /// of the memo.
+    ///
+    /// The boolean is `true` for the caller whose closure actually ran.
+    pub fn get_or_compute<F>(&self, key: &str, compute: F) -> (V, bool)
+    where
+        F: FnOnce() -> V,
+    {
+        let shard = self.shard(key);
+        {
+            let mut map = shard.map.lock().unwrap();
+            loop {
+                match map.get(key) {
+                    Some(Slot::Ready(v)) => return (v.clone(), false),
+                    Some(Slot::InFlight) => map = shard.ready.wait(map).unwrap(),
+                    None => {
+                        map.insert(key.to_owned(), Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = ClaimGuard {
+            shard,
+            key,
+            armed: true,
+        };
+        let value = compute();
+        guard.armed = false;
+        drop(guard);
+        let mut map = shard.map.lock().unwrap();
+        map.insert(key.to_owned(), Slot::Ready(value.clone()));
+        shard.ready.notify_all();
+        (value, true)
+    }
+
+    /// Number of published values across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when nothing is published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of published values matching a predicate (e.g. successful
+    /// runs vs quarantined failures).
+    pub fn count_matching<F>(&self, mut pred: F) -> usize
+    where
+        F: FnMut(&V) -> bool,
+    {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .filter(|v| match v {
+                        Slot::Ready(v) => pred(v),
+                        Slot::InFlight => false,
+                    })
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_preserves_item_order_in_results() {
+        for jobs in [1, 2, 8] {
+            let pool = WorkStealingPool::new(jobs);
+            let out = pool.run((0..100).collect(), |_, x: u64| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_clamps_zero_jobs_to_one() {
+        assert_eq!(WorkStealingPool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = WorkStealingPool::new(4);
+        let out = pool.run((0..257).collect::<Vec<u32>>(), |i, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i as u32, x);
+            x
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn memo_computes_once_per_key() {
+        let memo: ShardedMemo<u64> = ShardedMemo::new();
+        let calls = AtomicUsize::new(0);
+        let (a, computed_a) = memo.get_or_compute("k", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            7
+        });
+        let (b, computed_b) = memo.get_or_compute("k", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            99
+        });
+        assert_eq!((a, b), (7, 7));
+        assert!(computed_a && !computed_b);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.peek("k"), Some(7));
+        assert_eq!(memo.peek("absent"), None);
+    }
+
+    #[test]
+    fn memo_is_once_per_key_under_contention() {
+        let memo: ShardedMemo<usize> = ShardedMemo::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..200 {
+                        let key = format!("key-{}", i % 50);
+                        let (v, _) = memo.get_or_compute(&key, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            i % 50
+                        });
+                        assert_eq!(v, i % 50);
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50, "a key was recomputed");
+        assert_eq!(memo.len(), 50);
+    }
+
+    #[test]
+    fn memo_claim_is_released_when_compute_panics() {
+        let memo: ShardedMemo<u64> = ShardedMemo::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.get_or_compute("k", || panic!("boom"));
+        }));
+        assert!(attempt.is_err());
+        // The key must be computable again, not deadlocked in flight.
+        let (v, computed) = memo.get_or_compute("k", || 5);
+        assert_eq!(v, 5);
+        assert!(computed);
+    }
+
+    #[test]
+    fn count_matching_filters_values() {
+        let memo: ShardedMemo<u64> = ShardedMemo::new();
+        for i in 0..10u64 {
+            memo.get_or_compute(&format!("k{i}"), || i);
+        }
+        assert_eq!(memo.count_matching(|v| v % 2 == 0), 5);
+        assert!(!memo.is_empty());
+    }
+}

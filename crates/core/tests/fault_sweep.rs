@@ -11,7 +11,8 @@ const HEAPS: [u32; 2] = [32, 64];
 fn fig6_sweep_completes_under_five_percent_sample_drop() {
     let plan = FaultPlan::parse("drop=0.05,seed=11").unwrap();
     let mut runner = Runner::new().with_faults(plan);
-    let fig = figures::fig6(&mut runner, &HEAPS).expect("sweep completes");
+    let fig = figures::fig6(&mut runner, &figures::all_benchmark_names(), &HEAPS)
+        .expect("sweep completes");
 
     assert!(!fig.rows.is_empty());
     assert!(
@@ -54,7 +55,8 @@ fn persistent_failure_is_quarantined_and_other_cells_still_fill() {
     let mut runner = Runner::new()
         .retries(1)
         .fault_override("_213_javac", FaultPlan::parse("oom@1").unwrap());
-    let fig = figures::fig6(&mut runner, &[32]).expect("sweep completes");
+    let fig = figures::fig6(&mut runner, &figures::all_benchmark_names(), &[32])
+        .expect("sweep completes");
 
     // The poisoned benchmark produced no rows; everything else did.
     assert!(fig.rows.iter().all(|r| r.benchmark != "_213_javac"));

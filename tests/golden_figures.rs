@@ -1,0 +1,189 @@
+//! Golden-figure conformance: every regenerated artifact must match its
+//! canonical expected output under `tests/golden/`, byte for byte (modulo
+//! a trailing-newline trim).
+//!
+//! Two tiers:
+//!
+//! * **quick** (always run): the five sweep figures over a reduced-scope
+//!   grid at `Reduced` input scale — fast enough for every `cargo test`,
+//!   and still sensitive to any change in the energy model, the sweep
+//!   engine, or the table renderers.
+//! * **full** (`#[ignore]`, run by the CI release leg): every paper
+//!   artifact at full paper scope, against goldens split from the
+//!   committed `figures_output.txt` content.
+//!
+//! To re-bless after an *intentional* model change:
+//!
+//! ```text
+//! VMPROBE_BLESS=1 cargo test --release --test golden_figures -- --include-ignored
+//! ```
+
+use std::fmt::Display;
+use std::path::PathBuf;
+
+use vmprobe::{figures, Runner, P6_HEAPS_MB, PXA_HEAPS_MB};
+use vmprobe_workloads::InputScale;
+
+const QUICK_BENCHMARKS: [&str; 4] = ["_213_javac", "_209_db", "fop", "moldyn"];
+const QUICK_HEAPS: [u32; 2] = [32, 64];
+const QUICK_PXA_HEAPS: [u32; 2] = [16, 32];
+
+fn golden_path(tier: &str, name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(tier)
+        .join(format!("{name}.txt"))
+}
+
+fn check(tier: &str, name: &str, actual: &str) {
+    let path = golden_path(tier, name);
+    if std::env::var_os("VMPROBE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert!(
+        actual.trim_end() == golden.trim_end(),
+        "{tier}/{name} diverged from its golden ({}).\n\
+         If the change is intentional, re-bless with VMPROBE_BLESS=1.\n\
+         --- golden ---\n{golden}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+/// A runner for the quick tier: full grid shape, reduced inputs.
+fn quick_runner() -> Runner {
+    Runner::new()
+        .jobs(vmprobe::default_jobs())
+        .scale(InputScale::Reduced)
+}
+
+fn render<T: Display>(r: Result<T, vmprobe::ExperimentError>) -> String {
+    r.expect("sweep completes").to_string()
+}
+
+#[test]
+fn quick_fig6_matches_golden() {
+    let mut r = quick_runner();
+    check(
+        "quick",
+        "fig6",
+        &render(figures::fig6(&mut r, &QUICK_BENCHMARKS, &QUICK_HEAPS)),
+    );
+}
+
+#[test]
+fn quick_fig7_matches_golden() {
+    let mut r = quick_runner();
+    check(
+        "quick",
+        "fig7",
+        &render(figures::fig7(&mut r, &QUICK_BENCHMARKS, &QUICK_HEAPS)),
+    );
+}
+
+#[test]
+fn quick_fig8_matches_golden() {
+    let mut r = quick_runner();
+    check(
+        "quick",
+        "fig8",
+        &render(figures::fig8(&mut r, &QUICK_BENCHMARKS, &QUICK_HEAPS)),
+    );
+}
+
+#[test]
+fn quick_fig9_and_fig10_match_goldens() {
+    // One runner: Figure 10 reuses Figure 9's Kaffe runs from cache.
+    let mut r = quick_runner();
+    check(
+        "quick",
+        "fig9",
+        &render(figures::fig9(&mut r, &QUICK_BENCHMARKS, &QUICK_HEAPS)),
+    );
+    check(
+        "quick",
+        "fig10",
+        &render(figures::fig10(&mut r, &QUICK_BENCHMARKS, &QUICK_HEAPS)),
+    );
+}
+
+#[test]
+fn quick_fig11_matches_golden() {
+    let mut r = quick_runner();
+    check(
+        "quick",
+        "fig11",
+        &render(figures::fig11(&mut r, &QUICK_BENCHMARKS, &QUICK_PXA_HEAPS)),
+    );
+}
+
+#[test]
+fn fig5_matches_golden_at_full_scope() {
+    // Static (no simulated runs): the full paper-scope table is free.
+    check("full", "fig5", &figures::fig5().to_string());
+}
+
+/// Every artifact at full paper scope. Slow in debug — the CI release leg
+/// runs it with `--include-ignored`.
+#[test]
+#[ignore = "full paper scope; run in release (CI does)"]
+fn full_paper_scope_conformance() {
+    let mut r = Runner::new().jobs(vmprobe::default_jobs());
+    let all = figures::all_benchmark_names();
+    let pxa = figures::pxa_benchmark_names();
+    check("full", "fig1", &render(figures::fig1(&mut r)));
+    check(
+        "full",
+        "fig6",
+        &render(figures::fig6(&mut r, &all, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "fig7",
+        &render(figures::fig7(&mut r, &all, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "fig8",
+        &render(figures::fig8(&mut r, &all, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "fig9",
+        &render(figures::fig9(&mut r, &all, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "fig10",
+        &render(figures::fig10(&mut r, &all, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "fig11",
+        &render(figures::fig11(&mut r, &pxa, &PXA_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "t1",
+        &render(figures::t1_collector_power(&mut r, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "t2",
+        &render(figures::t2_l2_ipc(&mut r, &P6_HEAPS_MB)),
+    );
+    check(
+        "full",
+        "t3",
+        &render(figures::t3_memory_energy(&mut r, &P6_HEAPS_MB)),
+    );
+    check("full", "t4", &render(figures::t4_headlines(&mut r)));
+    check(
+        "full",
+        "t5",
+        &render(figures::t5_kaffe(&mut r, &P6_HEAPS_MB, &PXA_HEAPS_MB)),
+    );
+}

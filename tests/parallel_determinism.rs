@@ -1,0 +1,124 @@
+//! Deterministic replay: every figure sweep must produce **byte-identical**
+//! tables and `RunReport` JSON no matter how many worker threads execute
+//! it, across several master fault seeds.
+//!
+//! This is the acceptance test for the parallel sweep engine's determinism
+//! contract (see `DESIGN.md` §10): cells are pure functions of their
+//! configuration (per-cell fault streams are derived from the master seed
+//! and the cell key), and all merging/accounting happens in submission
+//! order on the calling thread.
+//!
+//! The sweeps run the real figure grids at `Reduced` input scale over a
+//! benchmark subset, so the suite stays minutes-not-hours in debug builds
+//! without changing the grid *shape* the engine has to schedule.
+
+use vmprobe::{figures, FaultPlan, Runner};
+use vmprobe_workloads::InputScale;
+
+/// Benchmark subset: one GC-heavy Spec benchmark (also the quarantine
+/// victim), one allocation-light one, and one per remaining suite.
+const BENCHMARKS: [&str; 4] = ["_213_javac", "_209_db", "fop", "moldyn"];
+const HEAPS: [u32; 2] = [32, 64];
+const PXA_HEAPS: [u32; 2] = [16, 32];
+const SEEDS: [u64; 3] = [11, 5150, 0xDEAD_BEEF];
+
+/// A full-bore fault plan touching every non-fatal injector.
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::parse(&format!(
+        "drop=0.05,dup=0.02,noise=0.005,glitch=0.002,wrap32,seed={seed}"
+    ))
+    .expect("valid plan")
+}
+
+/// Regenerate every tolerant figure sweep on one runner and render each
+/// table plus the final campaign report JSON.
+fn render_figures(jobs: usize, seed: u64) -> String {
+    // `moldyn` is persistently poisoned so quarantine, retry accounting and
+    // failed-cell rendering are part of what must replay identically.
+    let mut runner = Runner::new()
+        .jobs(jobs)
+        .scale(InputScale::Reduced)
+        .with_faults(plan(seed))
+        .retries(1)
+        .fault_override("moldyn", FaultPlan::parse("oom@1").unwrap());
+    let mut out = String::new();
+    out += &figures::fig6(&mut runner, &BENCHMARKS, &HEAPS)
+        .expect("fig6")
+        .to_string();
+    out += &figures::fig7(&mut runner, &BENCHMARKS, &HEAPS)
+        .expect("fig7")
+        .to_string();
+    out += &figures::fig8(&mut runner, &BENCHMARKS, &HEAPS)
+        .expect("fig8")
+        .to_string();
+    out += &figures::fig9(&mut runner, &BENCHMARKS, &HEAPS)
+        .expect("fig9")
+        .to_string();
+    out += &figures::fig10(&mut runner, &BENCHMARKS, &HEAPS)
+        .expect("fig10")
+        .to_string();
+    out += &figures::fig11(&mut runner, &BENCHMARKS, &PXA_HEAPS)
+        .expect("fig11")
+        .to_string();
+    out += "\n";
+    out += &runner.report().to_json();
+    out
+}
+
+#[test]
+fn figure_sweeps_are_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let serial = render_figures(1, seed);
+        let parallel = render_figures(8, seed);
+        assert!(
+            serial == parallel,
+            "seed {seed}: --jobs 8 output diverged from --jobs 1\n\
+             --- jobs=1 ---\n{serial}\n--- jobs=8 ---\n{parallel}"
+        );
+        // The poisoned benchmark must actually have exercised quarantine,
+        // otherwise this test proves less than it claims.
+        assert!(
+            serial.contains("\"quarantined\":[{"),
+            "no quarantine: {serial}"
+        );
+        assert!(serial.contains("moldyn"));
+    }
+}
+
+#[test]
+fn master_seed_moves_the_fault_ledger() {
+    // Distinct seeds must not collapse to the same campaign: otherwise the
+    // identity above would hold vacuously.
+    let a = render_figures(1, SEEDS[0]);
+    let b = render_figures(1, SEEDS[1]);
+    assert_ne!(a, b, "different master seeds produced identical campaigns");
+}
+
+#[test]
+fn strict_table_sweeps_are_bit_identical_across_thread_counts() {
+    // The strict (error-propagating) table sweeps run clean: a poisoned
+    // cell would abort them by design.
+    let render = |jobs: usize| {
+        let mut runner = Runner::new().jobs(jobs).scale(InputScale::Reduced);
+        let mut out = String::new();
+        out += &figures::t1_collector_power(&mut runner, &HEAPS)
+            .expect("t1")
+            .to_string();
+        out += &figures::t3_memory_energy(&mut runner, &HEAPS)
+            .expect("t3")
+            .to_string();
+        out += &figures::t5_kaffe(&mut runner, &HEAPS, &PXA_HEAPS)
+            .expect("t5")
+            .to_string();
+        out += "\n";
+        out += &runner.report().to_json();
+        out
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    assert!(
+        serial == parallel,
+        "strict sweeps diverged across thread counts\n\
+         --- jobs=1 ---\n{serial}\n--- jobs=8 ---\n{parallel}"
+    );
+}
