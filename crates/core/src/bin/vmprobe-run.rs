@@ -16,11 +16,21 @@
 //!   --retries <n>       attempts beyond the first before quarantine (default 2)
 //!   --seed <n>          override the fault plan's seed
 //!   --report-json <p>   write the supervised-run report JSON to a path ('-' = stdout)
+//!   --trace-out <p>     write a Chrome trace-event JSON of the run ('-' = stdout)
+//!   --metrics-out <p>   write Prometheus-style text metrics ('-' = stdout)
+//!   --telemetry-overhead  run uninstrumented first, then instrumented, and
+//!                       report the telemetry tax as a percentage
+//!   --verbose           progress logs while running and an end-of-run
+//!                       telemetry summary, both on stderr
 //! ```
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use vmprobe::{default_jobs, figures, ExperimentConfig, FaultPlan, Runner, VmChoice};
+use vmprobe::{
+    default_jobs, figures, ExperimentConfig, FaultPlan, NoopSink, Runner, Sink, StderrSink,
+    Telemetry, VmChoice,
+};
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
 use vmprobe_power::ComponentId;
@@ -36,6 +46,8 @@ fn usage() -> ExitCode {
          [heap_mb] [p6|pxa255] [full|s10]\n\
          \x20      [--jobs <n>] [--faults <spec>] [--retries <n>] [--seed <n>] \
          [--report-json <path>]\n\
+         \x20      [--trace-out <path>] [--metrics-out <path>] [--telemetry-overhead] \
+         [--verbose]\n\
          \x20  or: vmprobe-run <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|t1..t5|all> \
          [flags]"
     );
@@ -62,6 +74,39 @@ struct Cli {
     retries: Option<u32>,
     seed: Option<u64>,
     report_json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    telemetry_overhead: bool,
+    verbose: bool,
+}
+
+impl Cli {
+    /// Any flag that needs a live telemetry hub attached to the runner.
+    fn telemetry_requested(&self) -> bool {
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.telemetry_overhead
+            || self.verbose
+    }
+
+    /// Span streams are only kept when an output actually consumes them —
+    /// counters alone are cheaper and `--metrics-out` needs nothing more.
+    fn spans_wanted(&self) -> bool {
+        self.trace_out.is_some() || self.telemetry_overhead
+    }
+
+    /// Build the telemetry handle the flags ask for (disabled if none do).
+    fn make_telemetry(&self) -> Telemetry {
+        if !self.telemetry_requested() {
+            return Telemetry::disabled();
+        }
+        let sink: Box<dyn Sink> = if self.verbose {
+            Box::new(StderrSink::new())
+        } else {
+            Box::new(NoopSink)
+        };
+        Telemetry::with_sink(self.spans_wanted(), sink)
+    }
 }
 
 enum ParseOutcome {
@@ -82,6 +127,21 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                 Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
                 None => (flag.to_owned(), None),
             };
+            // Boolean flags: never consume the next argument.
+            match name.as_str() {
+                "telemetry-overhead" | "verbose" => {
+                    if inline.is_some() {
+                        return ParseOutcome::Err(format!("--{name} takes no value"));
+                    }
+                    if name == "verbose" {
+                        cli.verbose = true;
+                    } else {
+                        cli.telemetry_overhead = true;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
             let Some(value) = inline.or_else(|| it.next()) else {
                 return ParseOutcome::Err(format!("--{name} needs a value"));
             };
@@ -112,6 +172,8 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                     }
                 },
                 "report-json" => cli.report_json = Some(value),
+                "trace-out" => cli.trace_out = Some(value),
+                "metrics-out" => cli.metrics_out = Some(value),
                 other => return ParseOutcome::Err(format!("unknown flag --{other}")),
             }
         } else {
@@ -119,6 +181,21 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
         }
     }
     ParseOutcome::Ok(cli)
+}
+
+/// A runner wired with everything the flags ask for. `telemetry` and
+/// `verbose` are passed explicitly so the `--telemetry-overhead` bare pass
+/// can build an identical runner with both switched off.
+fn make_runner(cli: &Cli, plan: FaultPlan, telemetry: Telemetry, verbose: bool) -> Runner {
+    let mut runner = Runner::new()
+        .jobs(cli.jobs.unwrap_or_else(default_jobs))
+        .with_faults(plan)
+        .with_telemetry(telemetry)
+        .verbose(verbose);
+    if let Some(r) = cli.retries {
+        runner = runner.retries(r);
+    }
+    runner
 }
 
 fn write_report(runner: &Runner, dest: &str) -> Result<(), String> {
@@ -130,45 +207,148 @@ fn write_report(runner: &Runner, dest: &str) -> Result<(), String> {
     std::fs::write(dest, json).map_err(|e| format!("cannot write report to {dest}: {e}"))
 }
 
+fn write_artifact(what: &str, dest: &str, text: &str) -> Result<(), String> {
+    if dest == "-" {
+        print!("{text}");
+        if !text.ends_with('\n') {
+            println!();
+        }
+        return Ok(());
+    }
+    std::fs::write(dest, text).map_err(|e| format!("cannot write {what} to {dest}: {e}"))
+}
+
+/// Export whatever telemetry outputs the flags requested from one snapshot.
+fn write_telemetry(cli: &Cli, telemetry: &Telemetry) -> Result<(), String> {
+    if cli.trace_out.is_none() && cli.metrics_out.is_none() && !cli.verbose {
+        return Ok(());
+    }
+    let snap = telemetry.snapshot();
+    if let Some(dest) = &cli.trace_out {
+        write_artifact("trace", dest, &snap.chrome_trace())?;
+    }
+    if let Some(dest) = &cli.metrics_out {
+        write_artifact("metrics", dest, &snap.prometheus())?;
+    }
+    if cli.verbose {
+        eprint!("{}", snap.summary());
+    }
+    Ok(())
+}
+
+/// How many bare/instrumented pass pairs `--telemetry-overhead` runs.
+/// The pairs are interleaved and the fastest of each side wins, so slow
+/// ambient drift on the host (CI neighbours, thermal throttling) cancels
+/// instead of masquerading as telemetry tax.
+const OVERHEAD_PASSES: usize = 2;
+
+fn print_overhead(bare: Duration, instrumented: Duration) {
+    let b = bare.as_secs_f64();
+    let i = instrumented.as_secs_f64();
+    let tax = if b > 0.0 { 100.0 * (i - b) / b } else { 0.0 };
+    println!(
+        "telemetry overhead: bare {:.1} ms, instrumented {:.1} ms, tax {tax:.2}% \
+         (best of {OVERHEAD_PASSES} interleaved passes)",
+        1e3 * b,
+        1e3 * i,
+    );
+}
+
+/// Render the requested paper artifacts to one string, stopping at the
+/// first failure.
+fn render_artifacts(artifacts: &[String], runner: &mut Runner) -> Result<String, String> {
+    let all_names = figures::all_benchmark_names();
+    let pxa_names = figures::pxa_benchmark_names();
+    let (p6, pxa) = (&vmprobe::P6_HEAPS_MB, &vmprobe::PXA_HEAPS_MB);
+    let mut out = String::new();
+    for a in artifacts {
+        let result: Result<String, vmprobe::ExperimentError> = match a.as_str() {
+            "fig1" => figures::fig1(runner).map(|f| f.to_string()),
+            "fig5" => Ok(figures::fig5().to_string()),
+            "fig6" => figures::fig6(runner, &all_names, p6).map(|f| f.to_string()),
+            "fig7" => figures::fig7(runner, &all_names, p6).map(|f| f.to_string()),
+            "fig8" => figures::fig8(runner, &all_names, p6).map(|f| f.to_string()),
+            "fig9" => figures::fig9(runner, &all_names, p6).map(|f| f.to_string()),
+            "fig10" => figures::fig10(runner, &all_names, p6).map(|f| f.to_string()),
+            "fig11" => figures::fig11(runner, &pxa_names, pxa).map(|f| f.to_string()),
+            "t1" => figures::t1_collector_power(runner, p6).map(|f| f.to_string()),
+            "t2" => figures::t2_l2_ipc(runner, p6).map(|f| f.to_string()),
+            "t3" => figures::t3_memory_energy(runner, p6).map(|f| f.to_string()),
+            "t4" => figures::t4_headlines(runner).map(|f| f.to_string()),
+            "t5" => figures::t5_kaffe(runner, p6, pxa).map(|f| f.to_string()),
+            other => return Err(format!("unknown artifact '{other}'")),
+        };
+        match result {
+            Ok(text) => {
+                out.push_str(&text);
+                out.push('\n');
+            }
+            Err(e) => return Err(format!("{a} failed: {e}")),
+        }
+    }
+    Ok(out)
+}
+
 /// Regenerate the requested paper artifacts on the parallel sweep engine.
-fn run_figures(cli: &Cli, mut runner: Runner) -> ExitCode {
+fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
     let artifacts: Vec<String> = if cli.positionals.iter().any(|a| a == "all") {
         ARTIFACTS.map(String::from).to_vec()
     } else {
         cli.positionals.clone()
     };
-    let all_names = figures::all_benchmark_names();
-    let pxa_names = figures::pxa_benchmark_names();
-    let (p6, pxa) = (&vmprobe::P6_HEAPS_MB, &vmprobe::PXA_HEAPS_MB);
-    for a in &artifacts {
-        let result: Result<String, vmprobe::ExperimentError> = match a.as_str() {
-            "fig1" => figures::fig1(&mut runner).map(|f| f.to_string()),
-            "fig5" => Ok(figures::fig5().to_string()),
-            "fig6" => figures::fig6(&mut runner, &all_names, p6).map(|f| f.to_string()),
-            "fig7" => figures::fig7(&mut runner, &all_names, p6).map(|f| f.to_string()),
-            "fig8" => figures::fig8(&mut runner, &all_names, p6).map(|f| f.to_string()),
-            "fig9" => figures::fig9(&mut runner, &all_names, p6).map(|f| f.to_string()),
-            "fig10" => figures::fig10(&mut runner, &all_names, p6).map(|f| f.to_string()),
-            "fig11" => figures::fig11(&mut runner, &pxa_names, pxa).map(|f| f.to_string()),
-            "t1" => figures::t1_collector_power(&mut runner, p6).map(|f| f.to_string()),
-            "t2" => figures::t2_l2_ipc(&mut runner, p6).map(|f| f.to_string()),
-            "t3" => figures::t3_memory_energy(&mut runner, p6).map(|f| f.to_string()),
-            "t4" => figures::t4_headlines(&mut runner).map(|f| f.to_string()),
-            "t5" => figures::t5_kaffe(&mut runner, p6, pxa).map(|f| f.to_string()),
-            other => return fail(&format!("unknown artifact '{other}'")),
-        };
-        match result {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                eprintln!("{a} failed: {e}");
-                return ExitCode::FAILURE;
+    if cli.telemetry_overhead {
+        // Interleaved bare/instrumented pass pairs on fresh runners and
+        // fresh hubs; artifacts and the exported telemetry come from the
+        // last instrumented pass, the tax from the fastest of each side.
+        let mut bare_best = Duration::MAX;
+        let mut inst_best = Duration::MAX;
+        let mut last: Option<(Runner, Telemetry, String)> = None;
+        for _ in 0..OVERHEAD_PASSES {
+            let mut bare = make_runner(cli, plan, Telemetry::disabled(), false);
+            let t = Instant::now();
+            if let Err(e) = render_artifacts(&artifacts, &mut bare) {
+                return fail(&e);
+            }
+            bare_best = bare_best.min(t.elapsed());
+
+            let telemetry = cli.make_telemetry();
+            let mut runner = make_runner(cli, plan, telemetry.clone(), cli.verbose);
+            let t = Instant::now();
+            let text = match render_artifacts(&artifacts, &mut runner) {
+                Ok(text) => text,
+                Err(e) => return fail(&e),
+            };
+            inst_best = inst_best.min(t.elapsed());
+            last = Some((runner, telemetry, text));
+        }
+        let (runner, telemetry, text) = last.expect("at least one overhead pass");
+        print!("{text}");
+        print_overhead(bare_best, inst_best);
+        if let Some(dest) = &cli.report_json {
+            if let Err(e) = write_report(&runner, dest) {
+                return fail(&e);
             }
         }
+        if let Err(e) = write_telemetry(cli, &telemetry) {
+            return fail(&e);
+        }
+        return ExitCode::SUCCESS;
     }
+
+    let telemetry = cli.make_telemetry();
+    let mut runner = make_runner(cli, plan, telemetry.clone(), cli.verbose);
+    let text = match render_artifacts(&artifacts, &mut runner) {
+        Ok(text) => text,
+        Err(e) => return fail(&e),
+    };
+    print!("{text}");
     if let Some(dest) = &cli.report_json {
         if let Err(e) = write_report(&runner, dest) {
             return fail(&e);
         }
+    }
+    if let Err(e) = write_telemetry(cli, &telemetry) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }
@@ -192,15 +372,9 @@ fn main() -> ExitCode {
     if let Some(seed) = cli.seed {
         plan = plan.with_seed(seed);
     }
-    let mut runner = Runner::new()
-        .jobs(cli.jobs.unwrap_or_else(default_jobs))
-        .with_faults(plan);
-    if let Some(r) = cli.retries {
-        runner = runner.retries(r);
-    }
 
     if bench == "all" || ARTIFACTS.contains(&bench.as_str()) {
-        return run_figures(&cli, runner);
+        return run_figures(&cli, plan);
     }
     if cli.positionals.len() > 5 {
         return fail(&format!(
@@ -258,15 +432,49 @@ fn main() -> ExitCode {
         platform,
         scale,
         trace_power: false,
+        record_spans: false,
     };
 
-    let wall = std::time::Instant::now();
-    let result = runner.run(&cfg);
-    let wall = wall.elapsed();
+    let (telemetry, runner, result, wall, bare_best);
+    if cli.telemetry_overhead {
+        let mut bb = Duration::MAX;
+        let mut ib = Duration::MAX;
+        let mut last = None;
+        for _ in 0..OVERHEAD_PASSES {
+            let mut bare = make_runner(&cli, plan, Telemetry::disabled(), false);
+            let t = Instant::now();
+            // A failing config fails identically on the instrumented pass,
+            // which owns error reporting.
+            let _ = bare.run(&cfg);
+            bb = bb.min(t.elapsed());
+
+            let tel = cli.make_telemetry();
+            let mut r = make_runner(&cli, plan, tel.clone(), cli.verbose);
+            let t = Instant::now();
+            let res = r.run(&cfg);
+            let elapsed = t.elapsed();
+            ib = ib.min(elapsed);
+            last = Some((tel, r, res, elapsed));
+        }
+        let (tel, r, res, w) = last.expect("at least one overhead pass");
+        (telemetry, runner, result, wall) = (tel, r, res, w);
+        bare_best = Some((bb, ib));
+    } else {
+        telemetry = cli.make_telemetry();
+        let mut r = make_runner(&cli, plan, telemetry.clone(), cli.verbose);
+        let t = std::time::Instant::now();
+        result = r.run(&cfg);
+        wall = t.elapsed();
+        runner = r;
+        bare_best = None;
+    }
     if let Some(dest) = &cli.report_json {
         if let Err(e) = write_report(&runner, dest) {
             return fail(&e);
         }
+    }
+    if let Err(e) = write_telemetry(&cli, &telemetry) {
+        return fail(&e);
     }
     let run = match result {
         Ok(r) => r,
@@ -355,6 +563,9 @@ fn main() -> ExitCode {
             faults.energy_error_bound_j(),
             run.report.clean_total_energy.joules(),
         );
+    }
+    if let Some((bare, instrumented)) = bare_best {
+        print_overhead(bare, instrumented);
     }
     ExitCode::SUCCESS
 }

@@ -45,6 +45,10 @@ pub struct ExperimentConfig {
     pub scale: InputScale,
     /// Record the full power trace (needed for the thermal figure).
     pub trace_power: bool,
+    /// Record component spans on the virtual cycle clock (telemetry
+    /// `--trace-out`). Zero simulated cost: the report is bit-identical
+    /// with this on or off.
+    pub record_spans: bool,
 }
 
 impl ExperimentConfig {
@@ -57,6 +61,7 @@ impl ExperimentConfig {
             platform: PlatformKind::PentiumM,
             scale: InputScale::Full,
             trace_power: false,
+            record_spans: false,
         }
     }
 
@@ -69,6 +74,7 @@ impl ExperimentConfig {
             platform: PlatformKind::PentiumM,
             scale: InputScale::Full,
             trace_power: false,
+            record_spans: false,
         }
     }
 
@@ -82,12 +88,19 @@ impl ExperimentConfig {
             platform: PlatformKind::Pxa255,
             scale: InputScale::Reduced,
             trace_power: false,
+            record_spans: false,
         }
     }
 
     /// Enable power-trace recording.
     pub fn with_trace(mut self) -> Self {
         self.trace_power = true;
+        self
+    }
+
+    /// Enable virtual-clock component span recording.
+    pub fn with_spans(mut self) -> Self {
+        self.record_spans = true;
         self
     }
 
@@ -108,10 +121,22 @@ impl ExperimentConfig {
     }
 
     /// Unique cache key.
+    ///
+    /// The `spans` marker is appended only when recording is on, so keys
+    /// of span-free configurations — and with them every derived fault
+    /// stream ([`Self::derive_plan`] hashes this key) — are bit-identical
+    /// to what they were before the telemetry layer existed.
     pub fn key(&self) -> String {
+        let spans = if self.record_spans { "|spans" } else { "" };
         format!(
-            "{}|{}|{}|{:?}|{:?}|{}",
-            self.benchmark, self.vm, self.heap_mb, self.platform, self.scale, self.trace_power
+            "{}|{}|{}|{:?}|{:?}|{}{}",
+            self.benchmark,
+            self.vm,
+            self.heap_mb,
+            self.platform,
+            self.scale,
+            self.trace_power,
+            spans
         )
     }
 
@@ -121,7 +146,9 @@ impl ExperimentConfig {
             VmChoice::Jikes(c) => VmConfig::jikes(c, heap),
             VmChoice::Kaffe => VmConfig::kaffe(heap),
         };
-        base.platform(self.platform).trace_power(self.trace_power)
+        base.platform(self.platform)
+            .trace_power(self.trace_power)
+            .record_spans(self.record_spans)
     }
 
     /// Execute the experiment without fault injection.
@@ -164,6 +191,7 @@ impl ExperimentConfig {
             power_trace: out.power_trace,
             total_alloc_bytes: out.total_alloc_bytes,
             live_bytes_end: out.live_bytes_end,
+            spans: out.spans,
         })
     }
 }
@@ -256,6 +284,9 @@ pub struct RunSummary {
     pub total_alloc_bytes: u64,
     /// Live bytes at exit.
     pub live_bytes_end: u64,
+    /// Virtual-clock component span trace when
+    /// [`ExperimentConfig::record_spans`] was set.
+    pub spans: Option<vmprobe_telemetry::SpanTrace>,
 }
 
 impl RunSummary {
@@ -304,6 +335,20 @@ mod tests {
         // No-fault plans pass through untouched (cache keys stay bare).
         let clean = FaultPlan::none();
         assert_eq!(a.derive_plan(clean), clean);
+    }
+
+    #[test]
+    fn span_recording_marks_key_only_when_enabled() {
+        let bare = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        let spanned = bare.clone().with_spans();
+        assert!(!bare.key().contains("spans"), "disabled keys unchanged");
+        assert_ne!(bare.key(), spanned.key());
+        // And with it, the derived fault stream of span-free cells.
+        let master = FaultPlan::parse("drop=0.1,seed=7").unwrap();
+        assert_ne!(
+            bare.derive_plan(master).seed,
+            spanned.derive_plan(master).seed
+        );
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub struct Fig1 {
 ///
 /// Propagates [`ExperimentError`] from the underlying mpegaudio run.
 pub fn fig1(runner: &mut Runner) -> Result<Fig1, ExperimentError> {
+    let _phase = runner.phase("fig1");
     let cfg = ExperimentConfig::jikes("_222_mpegaudio", CollectorKind::GenCopy, 64);
     let run = runner.run(&cfg)?;
     let power =
@@ -283,6 +284,7 @@ pub fn fig6(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig6, ExperimentError> {
+    let _phase = runner.phase("fig6");
     let configs: Vec<ExperimentConfig> = benchmarks
         .iter()
         .flat_map(|&b| {
@@ -403,6 +405,7 @@ pub fn fig7(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig7, ExperimentError> {
+    let _phase = runner.phase("fig7");
     let mut configs = Vec::new();
     for &name in benchmarks {
         for collector in CollectorKind::jikes_collectors() {
@@ -497,6 +500,7 @@ pub fn fig8(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig8, ExperimentError> {
+    let _phase = runner.phase("fig8");
     let comps = [
         ComponentId::Application,
         ComponentId::Gc,
@@ -593,6 +597,7 @@ pub fn fig9(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig9, ExperimentError> {
+    let _phase = runner.phase("fig9");
     let configs: Vec<ExperimentConfig> = benchmarks
         .iter()
         .flat_map(|&b| heaps.iter().map(move |&h| ExperimentConfig::kaffe(b, h)))
@@ -658,6 +663,7 @@ pub fn fig10(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig10, ExperimentError> {
+    let _phase = runner.phase("fig10");
     let configs: Vec<ExperimentConfig> = benchmarks
         .iter()
         .flat_map(|&b| heaps.iter().map(move |&h| ExperimentConfig::kaffe(b, h)))
@@ -736,6 +742,7 @@ pub fn fig11(
     benchmarks: &[&str],
     heaps: &[u32],
 ) -> Result<Fig11, ExperimentError> {
+    let _phase = runner.phase("fig11");
     let configs: Vec<ExperimentConfig> = benchmarks
         .iter()
         .flat_map(|&b| {
@@ -802,6 +809,7 @@ pub fn t1_collector_power(
     runner: &mut Runner,
     heaps: &[u32],
 ) -> Result<T1CollectorPower, ExperimentError> {
+    let _phase = runner.phase("t1");
     let benches = suite_benchmarks(Suite::SpecJvm98);
     let mut configs = Vec::new();
     for collector in CollectorKind::jikes_collectors() {
@@ -860,6 +868,7 @@ pub struct T2L2Ipc {
 /// Propagates the first failing run (in submission order, after the whole
 /// grid has executed).
 pub fn t2_l2_ipc(runner: &mut Runner, heaps: &[u32]) -> Result<T2L2Ipc, ExperimentError> {
+    let _phase = runner.phase("t2");
     let mut rows = Vec::new();
     for suite in [Suite::SpecJvm98, Suite::DaCapo] {
         let benches = suite_benchmarks(suite);
@@ -954,6 +963,7 @@ pub fn t3_memory_energy(
     runner: &mut Runner,
     heaps: &[u32],
 ) -> Result<T3MemoryEnergy, ExperimentError> {
+    let _phase = runner.phase("t3");
     let mut rows = Vec::new();
     for suite in [Suite::SpecJvm98, Suite::DaCapo, Suite::JavaGrande] {
         let mut configs = Vec::new();
@@ -1023,6 +1033,7 @@ pub struct T4Headlines {
 ///
 /// Propagates the first failing run.
 pub fn t4_headlines(runner: &mut Runner) -> Result<T4Headlines, ExperimentError> {
+    let _phase = runner.phase("t4");
     let fig6 = fig6(runner, &all_benchmark_names(), &P6_HEAPS_MB)?;
     let names: Vec<&str> = ["_213_javac", "_227_mtrt", "euler", "_209_db"].to_vec();
     let fig7 = fig7(runner, &names, &P6_HEAPS_MB)?;
@@ -1186,6 +1197,7 @@ pub fn t5_kaffe(
     p6_heaps: &[u32],
     pxa_heaps: &[u32],
 ) -> Result<T5Kaffe, ExperimentError> {
+    let _phase = runner.phase("t5");
     let mut p6_configs = Vec::new();
     for b in all_benchmarks() {
         for &h in p6_heaps {

@@ -56,6 +56,18 @@ impl JsonObj {
         &mut self.buf
     }
 
+    /// Stamp the suite-wide artifact schema version
+    /// ([`vmprobe_telemetry::SCHEMA_VERSION`]) as the next field. Every
+    /// machine-readable artifact — the `RunReport` JSON, the Chrome trace
+    /// and the Prometheus metrics — carries this same constant, and they
+    /// bump in lockstep (`tests/telemetry_determinism.rs` enforces it).
+    pub fn schema_version(&mut self) -> &mut Self {
+        self.u64(
+            "schema_version",
+            u64::from(vmprobe_telemetry::SCHEMA_VERSION),
+        )
+    }
+
     /// Add a string field.
     pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
         let e = escape(v);

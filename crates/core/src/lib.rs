@@ -48,6 +48,10 @@ mod table;
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
 pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};
-pub use sweep::{default_jobs, ShardedMemo, WorkStealingPool};
+pub use sweep::{default_jobs, ShardedMemo, SweepError, WorkStealingPool};
 pub use table::Table;
 pub use vmprobe_power::{FaultPlan, FaultSpecError, FaultStats};
+pub use vmprobe_telemetry::{
+    validate_json, CounterId, HistId, NoopSink, Sink, Snapshot, SpanTrace, StderrSink, Telemetry,
+    SCHEMA_VERSION,
+};

@@ -39,6 +39,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use vmprobe_power::{FaultPlan, FaultStats};
+use vmprobe_telemetry::{CounterId, HistId, HostSpanGuard, StderrSink, Telemetry};
 use vmprobe_vm::VmError;
 use vmprobe_workloads::InputScale;
 
@@ -83,6 +84,9 @@ struct ExecutionRecord {
     attempts_failed: u64,
     retries: u64,
     backoff_ms: u64,
+    /// Host wall-clock time the cell's retry loop took (telemetry
+    /// [`HistId::CellHostUs`]; excluded from golden comparisons).
+    host_us: u64,
     injected_oom: u64,
     budget_exhausted: u64,
     /// Fault ledger of the successful run, when there was one.
@@ -200,7 +204,8 @@ impl RunReport {
         });
 
         let mut o = JsonObj::new();
-        o.u64("runs_ok", self.runs_ok)
+        o.schema_version()
+            .u64("runs_ok", self.runs_ok)
             .u64("attempts_failed", self.attempts_failed)
             .u64("retries", self.retries)
             .u64("backoff_virtual_ms", self.backoff_virtual_ms)
@@ -224,6 +229,7 @@ pub struct SupervisedRunner {
     report: RunReport,
     seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
+    telemetry: Telemetry,
 }
 
 /// The historical name: every figure entry point takes `&mut Runner`.
@@ -240,10 +246,40 @@ impl SupervisedRunner {
         }
     }
 
-    /// Log each executed configuration to stderr.
+    /// Log each executed configuration (and each quarantine decision) as
+    /// a telemetry log event. When no telemetry hub is attached yet, a
+    /// counters-only hub with a stderr sink is installed so the lines
+    /// still reach a human — whole lines under a lock, never interleaved,
+    /// replacing the raw `eprintln!` diagnostics this runner used to emit.
     pub fn verbose(mut self, on: bool) -> Self {
         self.verbose = on;
+        if on && !self.telemetry.is_enabled() {
+            self = self.with_telemetry(Telemetry::with_sink(false, Box::new(StderrSink::new())));
+        }
         self
+    }
+
+    /// Attach a telemetry hub: every batch, cell, retry, quarantine and
+    /// steal is counted, executed-cell span streams are collected (when
+    /// the hub records spans), and verbose diagnostics route through the
+    /// hub's sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.memo.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The runner's telemetry handle (disabled unless
+    /// [`SupervisedRunner::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Open a host-clock span for a figure phase on the `runner` track
+    /// (records when the returned guard drops) and count it.
+    pub fn phase(&self, name: &str) -> HostSpanGuard {
+        self.telemetry.count(CounterId::PhasesStarted, 1);
+        self.telemetry.host_span("runner", name)
     }
 
     /// Run batches on `jobs` worker threads (clamped to at least 1).
@@ -299,16 +335,18 @@ impl SupervisedRunner {
             .unwrap_or(self.default_faults)
     }
 
-    /// The configuration as actually executed (scale override applied).
+    /// The configuration as actually executed (scale override applied;
+    /// span recording switched on when the attached telemetry hub keeps
+    /// span streams).
     fn effective_config(&self, config: &ExperimentConfig) -> ExperimentConfig {
-        match self.scale_override {
-            None => config.clone(),
-            Some(scale) => {
-                let mut c = config.clone();
-                c.scale = scale;
-                c
-            }
+        let mut c = config.clone();
+        if let Some(scale) = self.scale_override {
+            c.scale = scale;
         }
+        if self.telemetry.spans_enabled() {
+            c.record_spans = true;
+        }
+        c
     }
 
     fn cache_key(&self, config: &ExperimentConfig) -> String {
@@ -369,29 +407,38 @@ impl SupervisedRunner {
             }
         }
 
-        let pool = WorkStealingPool::new(self.jobs);
+        self.telemetry.count(CounterId::BatchesSubmitted, 1);
+        let _batch_span = self.telemetry.host_span("runner", "batch");
+        let pool = WorkStealingPool::new(self.jobs).with_telemetry(self.telemetry.clone());
         let memo = &self.memo;
         let overrides = &self.overrides;
         let default_faults = self.default_faults;
         let max_retries = self.max_retries;
         let verbose = self.verbose;
-        let executed: Vec<(usize, Option<ExecutionRecord>)> = pool.run(
-            tasks.iter().map(|&i| (i, &cells[i])).collect(),
-            |_, (i, (config, key))| {
-                let master = overrides
-                    .get(&config.benchmark)
-                    .copied()
-                    .unwrap_or(default_faults);
-                let plan = config.derive_plan(master);
-                let mut record = None;
-                let (_, _) = memo.get_or_compute(key, || {
-                    let (result, rec) = execute_cell(config, plan, max_retries, verbose);
-                    record = Some(rec);
-                    result
-                });
-                (i, record)
-            },
-        );
+        let telemetry = self.telemetry.clone();
+        // A panicking cell aborts the batch with the cell's key in the
+        // message rather than poisoning pool/memo locks (`SweepError`).
+        let executed: Vec<(usize, Option<ExecutionRecord>)> = pool
+            .try_run(
+                tasks.iter().map(|&i| (i, &cells[i])).collect(),
+                |_, item| item.1 .1.clone(),
+                |_, (i, (config, key))| {
+                    let master = overrides
+                        .get(&config.benchmark)
+                        .copied()
+                        .unwrap_or(default_faults);
+                    let plan = config.derive_plan(master);
+                    let mut record = None;
+                    let (_, _) = memo.get_or_compute(key, || {
+                        let (result, rec) =
+                            execute_cell(config, plan, max_retries, verbose, &telemetry);
+                        record = Some(rec);
+                        result
+                    });
+                    (i, record)
+                },
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
 
         let mut records: HashMap<usize, ExecutionRecord> = executed
             .into_iter()
@@ -401,7 +448,15 @@ impl SupervisedRunner {
         // Merge in submission order — the determinism contract.
         let mut out = Vec::with_capacity(cells.len());
         for (i, (config, key)) in cells.iter().enumerate() {
-            let executed_here = first.get(key.as_str()) == Some(&i) && records.contains_key(&i);
+            let first_here = first.get(key.as_str()) == Some(&i);
+            let executed_here = first_here && records.contains_key(&i);
+            if executed_here {
+                self.telemetry.count(CounterId::CellsExecuted, 1);
+            } else if first_here {
+                self.telemetry.count(CounterId::CellsFromCache, 1);
+            } else {
+                self.telemetry.count(CounterId::CellsDedupedInBatch, 1);
+            }
             if let Some(rec) = records.remove(&i) {
                 self.apply_record(rec);
             }
@@ -410,7 +465,23 @@ impl SupervisedRunner {
                 .peek(key)
                 .expect("every batch key resolves before merge");
             match value {
-                Ok(summary) => out.push(Ok(summary)),
+                Ok(summary) => {
+                    if executed_here {
+                        if let Some(trace) = &summary.spans {
+                            // Appended on the calling thread in submission
+                            // order: the virtual span stream is therefore
+                            // byte-identical for any worker count.
+                            self.telemetry.record_cell(key, trace);
+                            self.telemetry.observe(
+                                HistId::CellVirtualUs,
+                                trace.cycles_to_us(trace.total_cycles()) as u64,
+                            );
+                            self.telemetry
+                                .observe(HistId::CellSpans, trace.len() as u64);
+                        }
+                    }
+                    out.push(Ok(summary));
+                }
                 Err(failure) => {
                     if executed_here {
                         // The executing occurrence surfaces the underlying
@@ -418,6 +489,7 @@ impl SupervisedRunner {
                         out.push(Err(failure.underlying.clone()));
                     } else {
                         self.report.quarantine_hits += 1;
+                        self.telemetry.count(CounterId::QuarantineHits, 1);
                         out.push(Err(ExperimentError::Quarantined {
                             config: Box::new(config.clone()),
                             attempts: failure.attempts,
@@ -434,6 +506,12 @@ impl SupervisedRunner {
         self.report.attempts_failed += rec.attempts_failed;
         self.report.retries += rec.retries;
         self.report.backoff_virtual_ms += rec.backoff_ms;
+        self.telemetry
+            .count(CounterId::AttemptsFailed, rec.attempts_failed);
+        self.telemetry.count(CounterId::Retries, rec.retries);
+        self.telemetry
+            .count(CounterId::BackoffVirtualMs, rec.backoff_ms);
+        self.telemetry.observe(HistId::CellHostUs, rec.host_us);
         self.report.faults.injected_oom += rec.injected_oom;
         self.report.faults.budget_exhausted += rec.budget_exhausted;
         if let Some(faults) = rec.success_faults {
@@ -441,11 +519,12 @@ impl SupervisedRunner {
             self.report.faults.merge(&faults);
         }
         if let Some(q) = rec.quarantined {
+            self.telemetry.count(CounterId::CellsQuarantined, 1);
             if self.verbose {
-                eprintln!(
-                    "[vmprobe] quarantined {} after {} attempts",
+                self.telemetry.log(&format!(
+                    "quarantined {} after {} attempts",
                     q.config, q.attempts
-                );
+                ));
             }
             self.report.quarantined.push(q);
         }
@@ -480,6 +559,7 @@ impl SupervisedRunner {
             .map(|(config, result)| match result {
                 Ok(summary) => Some(summary),
                 Err(e) => {
+                    self.telemetry.count(CounterId::CellsFailed, 1);
                     let cell = FailedCell::new(config, &e);
                     let sig = (cell.benchmark.clone(), cell.heap_mb, cell.vm.clone());
                     if self.seen_failed_cells.insert(sig) {
@@ -510,17 +590,20 @@ fn execute_cell(
     plan: FaultPlan,
     max_retries: u32,
     verbose: bool,
+    telemetry: &Telemetry,
 ) -> (CellResult, ExecutionRecord) {
+    let started = std::time::Instant::now();
     let mut rec = ExecutionRecord::default();
     let mut attempts = 0u32;
     loop {
         attempts += 1;
         if verbose {
-            eprintln!("[vmprobe] running {config} (attempt {attempts})");
+            telemetry.log(&format!("running {config} (attempt {attempts})"));
         }
         match config.run_with_faults(plan) {
             Ok(summary) => {
                 rec.success_faults = Some(summary.report.faults);
+                rec.host_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 return (Ok(Arc::new(summary)), rec);
             }
             Err(e) => {
@@ -539,6 +622,7 @@ fn execute_cell(
                         attempts,
                         last_error: e.to_string(),
                     });
+                    rec.host_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     return (
                         Err(StoredFailure {
                             attempts,

@@ -28,11 +28,68 @@
 //! (`tests/parallel_determinism.rs` enforces this).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use vmprobe_telemetry::{CounterId, Telemetry};
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// Every guarded section in this module is short push/pop/fold-only code
+/// that cannot panic mid-invariant — tasks always run *outside* the locks
+/// — so a poisoned mutex only means some worker panicked in its *task*.
+/// That failure is surfaced separately (and with its cell key) as
+/// [`SweepError::WorkerPanicked`]; recovering here lets the remaining
+/// workers drain cleanly instead of cascading secondary panics.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A sweep batch failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// A task panicked on a pool worker. The batch drains to completion
+    /// (sibling results are discarded) and the panic with the *smallest
+    /// submission index* is reported — the same cell the serial path
+    /// would name — so the error is identical for every worker count.
+    WorkerPanicked {
+        /// Key of the panicking cell (the experiment cache key for
+        /// supervised sweeps).
+        key: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::WorkerPanicked { key, message } => {
+                write!(
+                    f,
+                    "sweep worker panicked while computing `{key}`: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 // ------------------------------------------------------- work-stealing pool
@@ -48,17 +105,29 @@ pub fn default_jobs() -> usize {
 #[derive(Debug, Clone)]
 pub struct WorkStealingPool {
     jobs: usize,
+    telemetry: Telemetry,
 }
 
 impl WorkStealingPool {
     /// A pool that runs batches on `jobs` workers (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self {
+            jobs: jobs.max(1),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle: successful steals bump
+    /// [`CounterId::WorkerSteals`] and each worker's drain is recorded as
+    /// a host span on its own `worker-N` track.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Configured worker count.
     pub fn jobs(&self) -> usize {
-        self.jobs
+        self.jobs.max(1)
     }
 
     /// Run `task` over every item and return the results **in item
@@ -70,45 +139,115 @@ impl WorkStealingPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any task after the batch winds down.
+    /// Panics (with the formatted [`SweepError`]) when any task panics;
+    /// use [`WorkStealingPool::try_run`] to get the typed error instead.
     pub fn run<I, T, F>(&self, items: Vec<I>, task: F) -> Vec<T>
     where
         I: Send,
         T: Send,
         F: Fn(usize, I) -> T + Sync,
     {
+        self.try_run(items, |i, _| format!("#{i}"), task)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`WorkStealingPool::run`], but a panicking task surfaces
+    /// [`SweepError::WorkerPanicked`] naming the cell — via `key_of`,
+    /// which is evaluated *before* the task runs — instead of poisoning
+    /// the pool or tearing the process down mid-sweep.
+    ///
+    /// The batch still drains every cell (steal order is timing-dependent,
+    /// so an early abort would make the winning panic racy); when several
+    /// tasks panic, the one with the smallest submission index wins. That
+    /// is exactly the cell the inline serial path stops at, so the
+    /// reported error is bit-identical for any `--jobs N`.
+    pub fn try_run<I, T, K, F>(
+        &self,
+        items: Vec<I>,
+        key_of: K,
+        task: F,
+    ) -> Result<Vec<T>, SweepError>
+    where
+        I: Send,
+        T: Send,
+        K: Fn(usize, &I) -> String + Sync,
+        F: Fn(usize, I) -> T + Sync,
+    {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, item)| task(i, item))
-                .collect();
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                let key = key_of(i, &item);
+                match catch_unwind(AssertUnwindSafe(|| task(i, item))) {
+                    Ok(t) => out.push(t),
+                    Err(p) => {
+                        return Err(SweepError::WorkerPanicked {
+                            key,
+                            message: panic_message(p.as_ref()),
+                        })
+                    }
+                }
+            }
+            return Ok(out);
         }
 
         let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, item) in items.into_iter().enumerate() {
-            deques[i % workers].lock().unwrap().push_back((i, item));
+            lock_unpoisoned(&deques[i % workers]).push_back((i, item));
         }
 
+        let failure: Mutex<Option<(usize, SweepError)>> = Mutex::new(None);
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let deques = &deques;
                     let task = &task;
+                    let key_of = &key_of;
+                    let failure = &failure;
+                    let telemetry = &self.telemetry;
                     scope.spawn(move || {
+                        let _drain = telemetry.host_span(&format!("worker-{w}"), "drain");
                         let mut out = Vec::new();
                         loop {
-                            let job = deques[w].lock().unwrap().pop_back().or_else(|| {
+                            // Pop-then-steal as two statements: chaining
+                            // them keeps the guard on our own deque alive
+                            // through the steal scan (temporaries live to
+                            // the end of the statement), and two workers
+                            // scanning each other's deques while holding
+                            // their own would deadlock.
+                            let own = lock_unpoisoned(&deques[w]).pop_back();
+                            let job = own.or_else(|| {
                                 (1..workers).find_map(|k| {
-                                    deques[(w + k) % workers].lock().unwrap().pop_front()
+                                    let stolen =
+                                        lock_unpoisoned(&deques[(w + k) % workers]).pop_front();
+                                    if stolen.is_some() {
+                                        telemetry.count(CounterId::WorkerSteals, 1);
+                                    }
+                                    stolen
                                 })
                             });
                             match job {
-                                Some((i, item)) => out.push((i, task(i, item))),
+                                Some((i, item)) => {
+                                    let key = key_of(i, &item);
+                                    match catch_unwind(AssertUnwindSafe(|| task(i, item))) {
+                                        Ok(t) => out.push((i, t)),
+                                        Err(p) => {
+                                            let mut slot = lock_unpoisoned(failure);
+                                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                                *slot = Some((
+                                                    i,
+                                                    SweepError::WorkerPanicked {
+                                                        key,
+                                                        message: panic_message(p.as_ref()),
+                                                    },
+                                                ));
+                                            }
+                                        }
+                                    }
+                                }
                                 None => break,
                             }
                         }
@@ -117,15 +256,20 @@ impl WorkStealingPool {
                 })
                 .collect();
             for h in handles {
-                for (i, t) in h.join().expect("sweep worker panicked") {
+                // Workers catch task panics themselves, so a join failure
+                // would be a bug in the pool, not in a task.
+                for (i, t) in h.join().expect("pool worker infrastructure panicked") {
                     results[i] = Some(t);
                 }
             }
         });
-        results
+        if let Some((_, e)) = lock_unpoisoned(&failure).take() {
+            return Err(e);
+        }
+        Ok(results
             .into_iter()
             .map(|t| t.expect("every cell completed"))
-            .collect()
+            .collect())
     }
 }
 
@@ -159,6 +303,7 @@ struct Shard<V> {
 #[derive(Debug)]
 pub struct ShardedMemo<V> {
     shards: Vec<Shard<V>>,
+    telemetry: Telemetry,
 }
 
 impl<V> Default for ShardedMemo<V> {
@@ -170,6 +315,7 @@ impl<V> Default for ShardedMemo<V> {
                     ready: Condvar::new(),
                 })
                 .collect(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -185,7 +331,7 @@ struct ClaimGuard<'a, V> {
 impl<V> Drop for ClaimGuard<'_, V> {
     fn drop(&mut self) {
         if self.armed {
-            let mut map = self.shard.map.lock().unwrap();
+            let mut map = lock_unpoisoned(&self.shard.map);
             map.remove(self.key);
             self.shard.ready.notify_all();
         }
@@ -196,6 +342,12 @@ impl<V: Clone> ShardedMemo<V> {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a telemetry handle: blocking on another thread's in-flight
+    /// computation bumps [`CounterId::MemoInFlightWaits`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn shard(&self, key: &str) -> &Shard<V> {
@@ -211,7 +363,7 @@ impl<V: Clone> ShardedMemo<V> {
     /// The value for `key` if it is already published (`None` while absent
     /// or still in flight — never blocks).
     pub fn peek(&self, key: &str) -> Option<V> {
-        match self.shard(key).map.lock().unwrap().get(key) {
+        match lock_unpoisoned(&self.shard(key).map).get(key) {
             Some(Slot::Ready(v)) => Some(v.clone()),
             Some(Slot::InFlight) | None => None,
         }
@@ -230,11 +382,14 @@ impl<V: Clone> ShardedMemo<V> {
     {
         let shard = self.shard(key);
         {
-            let mut map = shard.map.lock().unwrap();
+            let mut map = lock_unpoisoned(&shard.map);
             loop {
                 match map.get(key) {
                     Some(Slot::Ready(v)) => return (v.clone(), false),
-                    Some(Slot::InFlight) => map = shard.ready.wait(map).unwrap(),
+                    Some(Slot::InFlight) => {
+                        self.telemetry.count(CounterId::MemoInFlightWaits, 1);
+                        map = shard.ready.wait(map).unwrap_or_else(|p| p.into_inner());
+                    }
                     None => {
                         map.insert(key.to_owned(), Slot::InFlight);
                         break;
@@ -250,7 +405,7 @@ impl<V: Clone> ShardedMemo<V> {
         let value = compute();
         guard.armed = false;
         drop(guard);
-        let mut map = shard.map.lock().unwrap();
+        let mut map = lock_unpoisoned(&shard.map);
         map.insert(key.to_owned(), Slot::Ready(value.clone()));
         shard.ready.notify_all();
         (value, true)
@@ -261,9 +416,7 @@ impl<V: Clone> ShardedMemo<V> {
         self.shards
             .iter()
             .map(|s| {
-                s.map
-                    .lock()
-                    .unwrap()
+                lock_unpoisoned(&s.map)
                     .values()
                     .filter(|v| matches!(v, Slot::Ready(_)))
                     .count()
@@ -285,9 +438,7 @@ impl<V: Clone> ShardedMemo<V> {
         self.shards
             .iter()
             .map(|s| {
-                s.map
-                    .lock()
-                    .unwrap()
+                lock_unpoisoned(&s.map)
                     .values()
                     .filter(|v| match v {
                         Slot::Ready(v) => pred(v),
@@ -384,6 +535,100 @@ mod tests {
         let (v, computed) = memo.get_or_compute("k", || 5);
         assert_eq!(v, 5);
         assert!(computed);
+    }
+
+    #[test]
+    fn try_run_surfaces_panicking_cell_key() {
+        for jobs in [1, 4] {
+            let pool = WorkStealingPool::new(jobs);
+            let err = pool
+                .try_run(
+                    (0..16).collect::<Vec<u32>>(),
+                    |_, x| format!("cell-{x}"),
+                    |_, x| {
+                        if x == 7 {
+                            panic!("injected task failure");
+                        }
+                        x * 2
+                    },
+                )
+                .unwrap_err();
+            let SweepError::WorkerPanicked { key, message } = err;
+            assert_eq!(key, "cell-7");
+            assert!(message.contains("injected task failure"));
+        }
+    }
+
+    #[test]
+    fn pool_is_usable_after_a_panicked_batch() {
+        let pool = WorkStealingPool::new(4);
+        let first = pool.try_run(
+            vec![1u32],
+            |_, _| "k".into(),
+            |_, _| -> u32 { panic!("boom") },
+        );
+        assert!(first.is_err());
+        let second = pool.try_run((0..32).collect(), |i, _| format!("#{i}"), |_, x: u32| x + 1);
+        assert_eq!(second.unwrap(), (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_panics_report_smallest_submission_index() {
+        // Every task panics; whichever workers hit them, the reported cell
+        // must always be the first submitted one.
+        for _ in 0..8 {
+            let pool = WorkStealingPool::new(8);
+            let err = pool
+                .try_run(
+                    (0..64).collect::<Vec<u32>>(),
+                    |i, _| format!("cell-{i}"),
+                    |_, _| -> u32 { panic!("all fail") },
+                )
+                .unwrap_err();
+            let SweepError::WorkerPanicked { key, .. } = err;
+            assert_eq!(key, "cell-0");
+        }
+    }
+
+    #[test]
+    fn steals_are_counted_when_telemetry_attached() {
+        let telemetry = Telemetry::counters_only();
+        let pool = WorkStealingPool::new(4).with_telemetry(telemetry.clone());
+        // Skewed work: worker 0's own deque drains last, so siblings steal.
+        pool.run((0..64).collect::<Vec<u64>>(), |_, x| {
+            if x % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        // Steals are timing-dependent; the counter existing and not
+        // panicking is the contract, a non-zero value is likely but not
+        // guaranteed.
+        let _ = telemetry.counter(CounterId::WorkerSteals);
+    }
+
+    #[test]
+    fn memo_counts_in_flight_waits() {
+        let mut memo: ShardedMemo<u64> = ShardedMemo::new();
+        let telemetry = Telemetry::counters_only();
+        memo.set_telemetry(telemetry.clone());
+        let started = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                memo.get_or_compute("k", || {
+                    started.store(true, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    7
+                });
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            let (v, computed) = memo.get_or_compute("k", || 99);
+            assert_eq!(v, 7);
+            assert!(!computed);
+        });
+        assert!(telemetry.counter(CounterId::MemoInFlightWaits) >= 1);
     }
 
     #[test]

@@ -153,3 +153,99 @@ fn bad_flag_values_fail_clearly() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error:"), "stderr: {err}");
 }
+
+#[test]
+fn telemetry_flags_write_trace_and_metrics_files() {
+    let dir = std::env::temp_dir().join(format!("vmprobe-cli-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let out = bin()
+        .args([
+            "moldyn",
+            "gencopy",
+            "32",
+            "p6",
+            "s10",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let t = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(t.starts_with("{\"schema_version\""), "trace: {t}");
+    assert!(t.contains("\"traceEvents\""), "trace: {t}");
+    let m = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(m.contains("vmprobe_schema_version"), "metrics: {m}");
+    assert!(m.contains("vmprobe_cells_executed_total 1"), "metrics: {m}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn default_run_is_quiet_and_verbose_narrates_to_stderr() {
+    let out = bin()
+        .args(["moldyn", "gencopy", "32", "p6", "s10"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "default run must be quiet on stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["moldyn", "gencopy", "32", "p6", "s10", "--verbose"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[vmprobe] running moldyn"), "stderr: {err}");
+    assert!(err.contains("telemetry summary"), "stderr: {err}");
+    // The narration stays off stdout, where the report lives.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("[vmprobe]"), "stdout polluted: {text}");
+}
+
+#[test]
+fn telemetry_overhead_mode_reports_a_tax_line() {
+    let out = bin()
+        .args([
+            "moldyn",
+            "gencopy",
+            "32",
+            "p6",
+            "s10",
+            "--telemetry-overhead",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("telemetry overhead: bare") && text.contains("tax"),
+        "stdout: {text}"
+    );
+}
+
+#[test]
+fn boolean_flags_reject_inline_values() {
+    let out = bin()
+        .args(["moldyn", "--verbose=yes"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--verbose takes no value"), "stderr: {err}");
+}

@@ -16,6 +16,7 @@ use crate::ComponentId;
 pub struct ComponentPort {
     stack: Vec<ComponentId>,
     writes: u64,
+    max_depth: usize,
 }
 
 impl Default for ComponentPort {
@@ -30,6 +31,7 @@ impl ComponentPort {
         Self {
             stack: vec![ComponentId::Idle],
             writes: 0,
+            max_depth: 1,
         }
     }
 
@@ -50,6 +52,7 @@ impl ComponentPort {
     pub fn push(&mut self, c: ComponentId) {
         self.stack.push(c);
         self.writes += 1;
+        self.max_depth = self.max_depth.max(self.stack.len());
     }
 
     /// Exit the current component, restoring the enclosing one
@@ -82,6 +85,14 @@ impl ComponentPort {
         self.stack.len()
     }
 
+    /// Deepest nesting seen over the port's lifetime (1 = never nested).
+    /// Every port write is also a candidate span boundary for the
+    /// telemetry layer, so this bounds the span nesting a cell's trace
+    /// can exhibit.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
     /// Number of register writes performed (each costs an I/O store in the
     /// runtime's perturbation accounting).
     pub fn writes(&self) -> u64 {
@@ -111,6 +122,7 @@ mod tests {
         p.pop();
         assert_eq!(p.current(), ComponentId::Application);
         assert_eq!(p.depth(), 1);
+        assert_eq!(p.max_depth(), 3);
         assert_eq!(p.writes(), 5);
     }
 

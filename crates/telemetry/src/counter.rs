@@ -1,0 +1,161 @@
+//! The static counter registry.
+//!
+//! Counters are keyed by a closed enum rather than strings so a probe site
+//! is an array index + relaxed atomic add — no hashing, no allocation, no
+//! registration races — and so the Prometheus exporter can enumerate every
+//! metric that exists.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every counter the stack can bump, in export order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterId {
+    /// Distinct cells actually executed by the supervised runner.
+    CellsExecuted,
+    /// Batch cells served from the cross-batch memo without executing.
+    CellsFromCache,
+    /// Batch cells resolved to an earlier duplicate in the same batch.
+    CellsDedupedInBatch,
+    /// Cells a tolerant figure sweep could not fill (first sighting only).
+    CellsFailed,
+    /// Configurations quarantined after exhausting their retry budget.
+    CellsQuarantined,
+    /// Requests refused because the configuration was already quarantined.
+    QuarantineHits,
+    /// Individual attempts that failed (including retries).
+    AttemptsFailed,
+    /// Retries performed (attempts beyond each configuration's first).
+    Retries,
+    /// Virtual backoff milliseconds accumulated by the retry schedule.
+    BackoffVirtualMs,
+    /// Times a memo caller blocked on another thread's in-flight compute.
+    MemoInFlightWaits,
+    /// Jobs a pool worker stole from a sibling's deque.
+    WorkerSteals,
+    /// Batches submitted to the work-stealing pool.
+    BatchesSubmitted,
+    /// Figure/table sweep phases started.
+    PhasesStarted,
+    /// Log lines routed through the sink.
+    LogLines,
+}
+
+impl CounterId {
+    /// All counters, in export order.
+    pub const ALL: [CounterId; 14] = [
+        CounterId::CellsExecuted,
+        CounterId::CellsFromCache,
+        CounterId::CellsDedupedInBatch,
+        CounterId::CellsFailed,
+        CounterId::CellsQuarantined,
+        CounterId::QuarantineHits,
+        CounterId::AttemptsFailed,
+        CounterId::Retries,
+        CounterId::BackoffVirtualMs,
+        CounterId::MemoInFlightWaits,
+        CounterId::WorkerSteals,
+        CounterId::BatchesSubmitted,
+        CounterId::PhasesStarted,
+        CounterId::LogLines,
+    ];
+
+    /// Stable metric name (Prometheus-style snake case).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::CellsExecuted => "cells_executed",
+            CounterId::CellsFromCache => "cells_from_cache",
+            CounterId::CellsDedupedInBatch => "cells_deduped_in_batch",
+            CounterId::CellsFailed => "cells_failed",
+            CounterId::CellsQuarantined => "cells_quarantined",
+            CounterId::QuarantineHits => "quarantine_hits",
+            CounterId::AttemptsFailed => "attempts_failed",
+            CounterId::Retries => "retries",
+            CounterId::BackoffVirtualMs => "backoff_virtual_ms",
+            CounterId::MemoInFlightWaits => "memo_inflight_waits",
+            CounterId::WorkerSteals => "worker_steals",
+            CounterId::BatchesSubmitted => "batches_submitted",
+            CounterId::PhasesStarted => "phases_started",
+            CounterId::LogLines => "log_lines",
+        }
+    }
+
+    /// Whether the counter's value is independent of worker-thread count.
+    ///
+    /// Deterministic counters are merged on the calling thread in batch
+    /// submission order; the two scheduling-dependent ones
+    /// ([`CounterId::MemoInFlightWaits`], [`CounterId::WorkerSteals`])
+    /// are host-side observations and are excluded from golden
+    /// comparisons, exactly like [`crate::HostSpan`]s.
+    pub fn deterministic(self) -> bool {
+        !matches!(self, CounterId::MemoInFlightWaits | CounterId::WorkerSteals)
+    }
+
+    fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every CounterId is in ALL")
+    }
+}
+
+/// One atomic slot per [`CounterId`].
+#[derive(Debug, Default)]
+pub(crate) struct CounterSet {
+    slots: [AtomicU64; CounterId::ALL.len()],
+}
+
+impl CounterSet {
+    pub(crate) fn add(&self, id: CounterId, n: u64) {
+        self.slots[id.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self, id: CounterId) -> u64 {
+        self.slots[id.index()].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut names: Vec<_> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        for name in names {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn aggregation_across_threads_is_exact() {
+        // The satellite-task requirement: counter adds from many workers
+        // must never lose increments.
+        let set = CounterSet::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        set.add(CounterId::WorkerSteals, 1);
+                        set.add(CounterId::CellsExecuted, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(set.get(CounterId::WorkerSteals), 8 * 1000);
+        assert_eq!(set.get(CounterId::CellsExecuted), 2 * 8 * 1000);
+        assert_eq!(set.get(CounterId::Retries), 0);
+    }
+}

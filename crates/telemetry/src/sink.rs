@@ -1,0 +1,62 @@
+//! Pluggable output sinks.
+//!
+//! The hub owns exactly one `Box<dyn Sink>`; the default [`NoopSink`]
+//! keeps the enabled-but-quiet path allocation-free, and [`StderrSink`]
+//! serializes whole lines so `--jobs N` runs never interleave garbled
+//! diagnostics (the raw-`eprintln!` problem this layer replaces).
+
+use std::io::Write as _;
+use std::sync::Mutex;
+
+/// Receives side-channel output from the telemetry hub.
+///
+/// Spans, counters and histograms are pull-based (rendered from a
+/// [`crate::Snapshot`] at end of run); the sink only carries what must
+/// reach a human *while* the run executes.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Emit one already-formatted log line (no trailing newline).
+    fn log(&self, line: &str);
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn log(&self, _line: &str) {}
+}
+
+/// Writes whole lines to stderr under a mutex, so concurrent workers
+/// never interleave within a line (or between a prefix and its message).
+#[derive(Debug, Default)]
+pub struct StderrSink {
+    gate: Mutex<()>,
+}
+
+impl StderrSink {
+    /// A stderr sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for StderrSink {
+    fn log(&self, line: &str) {
+        let _gate = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "[vmprobe] {line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinks_are_object_safe() {
+        // Both sinks coerce to the trait object; only the quiet one is
+        // exercised so the test run stays clean.
+        let sinks: Vec<Box<dyn Sink>> = vec![Box::new(NoopSink), Box::new(StderrSink::new())];
+        sinks[0].log("dropped");
+    }
+}

@@ -1,0 +1,189 @@
+//! Span records in the two clock domains.
+//!
+//! [`SpanTrace`] lives inside the simulated machine: its timestamps are
+//! virtual cycle counts read off the machine's own clock, so a cell's
+//! trace is a pure function of the experiment configuration — the basis of
+//! the jobs=1 ≡ jobs=N byte-identity contract. [`HostSpan`]s are the
+//! opposite: wall-clock observations of the runner itself, useful for
+//! seeing where host time goes but explicitly excluded from every golden
+//! comparison.
+
+/// One closed component span on the virtual cycle clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualSpan {
+    /// Component label (static registry, e.g. `"GC"`).
+    pub name: &'static str,
+    /// Cycle count at entry.
+    pub start_cycles: u64,
+    /// Cycle count at exit (`>= start_cycles`).
+    pub end_cycles: u64,
+    /// Nesting depth at entry (0 = outermost component).
+    pub depth: u8,
+}
+
+impl VirtualSpan {
+    /// Span length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycles - self.start_cycles
+    }
+}
+
+/// Recorder for virtual-clock component spans, owned by the simulated
+/// machine's meter.
+///
+/// Recording performs no simulated work: it never charges cycles, so a
+/// run's energy/power report is bit-identical with recording on or off
+/// (`tests/telemetry_determinism.rs` asserts this on real figure sweeps).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTrace {
+    clock_hz: f64,
+    spans: Vec<VirtualSpan>,
+    open: Vec<(&'static str, u64)>,
+    max_depth: usize,
+    total_cycles: u64,
+}
+
+impl SpanTrace {
+    /// A recorder for a machine clocked at `clock_hz` (used only to
+    /// convert cycles to microseconds at export time).
+    pub fn new(clock_hz: f64) -> Self {
+        Self {
+            clock_hz,
+            ..Self::default()
+        }
+    }
+
+    /// Open a span at the current cycle count.
+    pub fn enter(&mut self, name: &'static str, cycles: u64) {
+        self.open.push((name, cycles));
+        self.max_depth = self.max_depth.max(self.open.len());
+    }
+
+    /// Close the innermost open span at the current cycle count.
+    ///
+    /// Unbalanced exits are ignored rather than panicking: the meter's
+    /// component port already enforces bracket discipline, and a tracing
+    /// layer must never take down the run it observes.
+    pub fn exit(&mut self, cycles: u64) {
+        if let Some((name, start)) = self.open.pop() {
+            self.spans.push(VirtualSpan {
+                name,
+                start_cycles: start,
+                end_cycles: cycles.max(start),
+                depth: self.open.len().min(u8::MAX as usize) as u8,
+            });
+        }
+    }
+
+    /// Close any spans still open and pin the trace's total extent
+    /// (end-of-run safety net; the exporter lays consecutive cells out
+    /// back to back using this extent).
+    pub fn finish(&mut self, cycles: u64) {
+        while !self.open.is_empty() {
+            self.exit(cycles);
+        }
+        self.total_cycles = self.total_cycles.max(cycles);
+    }
+
+    /// Total extent of the run in cycles (the clock value passed to
+    /// [`SpanTrace::finish`], or the latest span end before that).
+    pub fn total_cycles(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.end_cycles)
+            .fold(self.total_cycles, u64::max)
+    }
+
+    /// The closed spans, in close order.
+    pub fn spans(&self) -> &[VirtualSpan] {
+        &self.spans
+    }
+
+    /// Machine clock used for cycle→time conversion.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Deepest nesting observed.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of closed spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no span has closed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Convert a cycle count to microseconds on this trace's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        if self.clock_hz > 0.0 {
+            cycles as f64 / self.clock_hz * 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One wall-clock span of the host-side runner (pool worker drain, figure
+/// phase, batch supervision).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpan {
+    /// Track the span renders on (e.g. `"runner"`, `"worker-3"`).
+    pub track: String,
+    /// Span label (e.g. `"fig6"`, `"drain"`).
+    pub name: String,
+    /// Microseconds since the hub's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_lifo_order() {
+        let mut t = SpanTrace::new(1e9);
+        t.enter("GC", 100);
+        t.enter("CL", 150);
+        t.exit(200);
+        t.exit(400);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.spans()[0].name, "CL");
+        assert_eq!(t.spans()[0].depth, 1);
+        assert_eq!(t.spans()[0].cycles(), 50);
+        assert_eq!(t.spans()[1].name, "GC");
+        assert_eq!(t.spans()[1].depth, 0);
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let mut t = SpanTrace::new(1e9);
+        t.exit(10);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn finish_closes_leftovers() {
+        let mut t = SpanTrace::new(1e9);
+        t.enter("GC", 5);
+        t.enter("CL", 7);
+        t.finish(9);
+        assert_eq!(t.len(), 2);
+        assert!(t.spans().iter().all(|s| s.end_cycles == 9));
+    }
+
+    #[test]
+    fn clock_converts_cycles_to_us() {
+        let t = SpanTrace::new(1.6e9);
+        assert!((t.cycles_to_us(1_600_000) - 1000.0).abs() < 1e-9);
+        assert_eq!(SpanTrace::new(0.0).cycles_to_us(100), 0.0);
+    }
+}

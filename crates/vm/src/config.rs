@@ -77,6 +77,10 @@ pub struct VmConfig {
     /// Fault-injection plan for the run (measurement-path faults plus
     /// forced VM faults). `FaultPlan::none()` by default.
     pub faults: FaultPlan,
+    /// Record component enter/exit spans on the virtual cycle clock for
+    /// the telemetry layer. Recording charges zero simulated cycles, so
+    /// every report is bit-identical with this on or off.
+    pub record_spans: bool,
 }
 
 impl VmConfig {
@@ -94,6 +98,7 @@ impl VmConfig {
             dvfs: DvfsPoint::NOMINAL,
             nursery_bytes: None,
             faults: FaultPlan::none(),
+            record_spans: false,
         }
     }
 
@@ -112,6 +117,7 @@ impl VmConfig {
             dvfs: DvfsPoint::NOMINAL,
             nursery_bytes: None,
             faults: FaultPlan::none(),
+            record_spans: false,
         }
     }
 
@@ -153,6 +159,12 @@ impl VmConfig {
     /// Run under a fault-injection plan (see [`FaultPlan`]).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Enable/disable virtual-clock component span recording.
+    pub fn record_spans(mut self, on: bool) -> Self {
+        self.record_spans = on;
         self
     }
 }

@@ -11,6 +11,7 @@ use vmprobe_platform::{Addr, CpuSpec, Exec, Machine, PlatformKind};
 use vmprobe_power::{
     ComponentId, ComponentPort, Daq, DvfsPoint, FaultPlan, PerfMonitor, PowerCoeffs, PowerModel,
 };
+use vmprobe_telemetry::SpanTrace;
 
 /// Cycles charged per component-ID register write (parallel-port I/O on the
 /// P6 board is slow; GPIO on the PXA255 is cheap). The paper's "efficient,
@@ -31,6 +32,7 @@ pub struct Meter {
     perf: PerfMonitor,
     io_cycles: f64,
     next_probe: u64,
+    spans: Option<SpanTrace>,
 }
 
 impl Meter {
@@ -74,7 +76,28 @@ impl Meter {
             perf,
             io_cycles: io_write_cycles(kind),
             next_probe,
+            spans: None,
         }
+    }
+
+    /// Start recording component enter/exit spans on the virtual cycle
+    /// clock. Span capture happens *after* the charged register write, so
+    /// it adds zero simulated cycles: the machine's trajectory — and with
+    /// it every energy/power figure — is bit-identical with recording on
+    /// or off.
+    pub fn enable_spans(&mut self) {
+        let clock_hz = self.machine.spec().freq_hz;
+        self.spans = Some(SpanTrace::new(clock_hz));
+    }
+
+    /// Take the recorded span trace, closing any spans still open at the
+    /// current cycle count. `None` when recording was never enabled.
+    pub fn take_spans(&mut self) -> Option<SpanTrace> {
+        let cycles = self.machine.cycles();
+        self.spans.take().map(|mut t| {
+            t.finish(cycles);
+            t
+        })
     }
 
     /// The underlying machine (read-only; charge work through `Exec`).
@@ -106,6 +129,9 @@ impl Meter {
     pub fn enter(&mut self, c: ComponentId) {
         self.machine.stall(self.io_cycles);
         self.port.push(c);
+        if let Some(t) = &mut self.spans {
+            t.enter(c.label(), self.machine.cycles());
+        }
         self.maybe_sample();
     }
 
@@ -113,6 +139,9 @@ impl Meter {
     pub fn exit(&mut self) {
         self.machine.stall(self.io_cycles);
         self.port.pop();
+        if let Some(t) = &mut self.spans {
+            t.exit(self.machine.cycles());
+        }
         self.maybe_sample();
     }
 
@@ -273,6 +302,35 @@ mod tests {
         m.exit();
         assert!(Exec::cycles(&m) - c0 >= 2 * 180);
         assert_eq!(m.port().writes(), 2);
+    }
+
+    #[test]
+    fn span_recording_charges_zero_cycles() {
+        let drive = |record: bool| {
+            let mut m = Meter::new(PlatformKind::PentiumM, false);
+            if record {
+                m.enable_spans();
+            }
+            m.set_base(ComponentId::Application);
+            m.enter(ComponentId::Gc);
+            m.int_ops(5000);
+            m.enter(ComponentId::ClassLoader);
+            m.int_ops(100);
+            m.exit();
+            m.exit();
+            m.flush_samples();
+            (Exec::cycles(&m), m.take_spans())
+        };
+        let (bare_cycles, none) = drive(false);
+        let (rec_cycles, spans) = drive(true);
+        assert!(none.is_none());
+        assert_eq!(bare_cycles, rec_cycles);
+        let trace = spans.expect("recording enabled");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.spans()[0].name, "CL");
+        assert_eq!(trace.spans()[1].name, "GC");
+        assert_eq!(trace.max_depth(), 2);
+        assert_eq!(trace.total_cycles(), rec_cycles);
     }
 
     #[test]

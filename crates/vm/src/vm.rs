@@ -59,6 +59,10 @@ pub struct RunOutcome {
     pub live_bytes_end: u64,
     /// Total bytes allocated over the run.
     pub total_alloc_bytes: u64,
+    /// Component span trace on the virtual cycle clock when
+    /// [`VmConfig::record_spans`] was set (deterministic: a pure function
+    /// of the configuration, like every other field here).
+    pub spans: Option<vmprobe_telemetry::SpanTrace>,
 }
 
 /// A configured virtual machine ready to execute one program.
@@ -137,12 +141,15 @@ impl Vm {
         let loader = ClassLoader::new(&program);
         let compilers = CompilerSubsystem::new(&program);
         let statics = vec![Value::Null; program.statics().len()];
-        let meter = Meter::with_faults(
+        let mut meter = Meter::with_faults(
             config.platform,
             config.trace_power,
             config.dvfs,
             config.faults,
         );
+        if config.record_spans {
+            meter.enable_spans();
+        }
         let plan = config
             .collector
             .try_new_plan_configured(config.heap_bytes, config.nursery_bytes)
@@ -210,6 +217,7 @@ impl Vm {
         let live_bytes_end = self.heap.live_bytes();
         let total_alloc_bytes = self.heap.total_alloc_bytes();
         let power_trace = self.meter.daq().trace().map(<[PowerSample]>::to_vec);
+        let spans = self.meter.take_spans();
         let (machine, daq, perf) = self.meter.into_parts();
         let report = analyze(&daq, &perf, &machine);
         Ok(RunOutcome {
@@ -222,6 +230,7 @@ impl Vm {
             power_trace,
             live_bytes_end,
             total_alloc_bytes,
+            spans,
         })
     }
 

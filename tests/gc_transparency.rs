@@ -16,6 +16,7 @@ fn checksum(benchmark: &str, vm: VmChoice, heap_mb: u32, platform: PlatformKind)
         platform,
         scale: InputScale::Reduced,
         trace_power: false,
+        record_spans: false,
     };
     let run = cfg
         .run()

@@ -15,6 +15,7 @@ fn quick(benchmark: &str, vm: VmChoice, heap_mb: u32, platform: PlatformKind) ->
         platform,
         scale: InputScale::Reduced,
         trace_power: false,
+        record_spans: false,
     }
 }
 
