@@ -19,7 +19,9 @@
 //!   --trace-out <p>     write a Chrome trace-event JSON of the run ('-' = stdout)
 //!   --metrics-out <p>   write Prometheus-style text metrics ('-' = stdout)
 //!   --telemetry-overhead  run uninstrumented first, then instrumented, and
-//!                       report the telemetry tax as a percentage
+//!                       report the telemetry tax as a percentage (timed
+//!                       passes always run quiet so --verbose narration is
+//!                       never billed as tax)
 //!   --verbose           progress logs while running and an end-of-run
 //!                       telemetry summary, both on stderr
 //! ```
@@ -89,10 +91,13 @@ impl Cli {
             || self.verbose
     }
 
-    /// Span streams are only kept when an output actually consumes them —
-    /// counters alone are cheaper and `--metrics-out` needs nothing more.
+    /// Span streams are kept whenever an output consumes them: the trace
+    /// obviously, the metrics dump (its `cell_spans` histogram counts
+    /// recorded spans), and the overhead mode (which must measure full
+    /// recording, not a discounted subset). Verbose-only runs stay on the
+    /// cheaper counters-only hub.
     fn spans_wanted(&self) -> bool {
-        self.trace_out.is_some() || self.telemetry_overhead
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.telemetry_overhead
     }
 
     /// Build the telemetry handle the flags ask for (disabled if none do).
@@ -106,6 +111,16 @@ impl Cli {
             Box::new(NoopSink)
         };
         Telemetry::with_sink(self.spans_wanted(), sink)
+    }
+
+    /// Telemetry for the *timed* instrumented passes of
+    /// `--telemetry-overhead`: the same recording configuration, but
+    /// always a quiet sink. `--verbose` narration is stderr I/O (mutex +
+    /// write per attempt), not recording cost — letting it into the timed
+    /// side would bill narration as telemetry tax. The end-of-run
+    /// `--verbose` summary still prints from the final snapshot.
+    fn make_overhead_telemetry(&self) -> Telemetry {
+        Telemetry::with_sink(self.spans_wanted(), Box::new(NoopSink))
     }
 }
 
@@ -184,8 +199,9 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
 }
 
 /// A runner wired with everything the flags ask for. `telemetry` and
-/// `verbose` are passed explicitly so the `--telemetry-overhead` bare pass
-/// can build an identical runner with both switched off.
+/// `verbose` are passed explicitly so the `--telemetry-overhead` timed
+/// passes (bare *and* instrumented) can build runners with narration
+/// switched off.
 fn make_runner(cli: &Cli, plan: FaultPlan, telemetry: Telemetry, verbose: bool) -> Runner {
     let mut runner = Runner::new()
         .jobs(cli.jobs.unwrap_or_else(default_jobs))
@@ -300,6 +316,8 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
         // Interleaved bare/instrumented pass pairs on fresh runners and
         // fresh hubs; artifacts and the exported telemetry come from the
         // last instrumented pass, the tax from the fastest of each side.
+        // Both timed sides run quiet (no verbose narration): the tax must
+        // measure recording, not stderr I/O.
         let mut bare_best = Duration::MAX;
         let mut inst_best = Duration::MAX;
         let mut last: Option<(Runner, Telemetry, String)> = None;
@@ -311,8 +329,8 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
             }
             bare_best = bare_best.min(t.elapsed());
 
-            let telemetry = cli.make_telemetry();
-            let mut runner = make_runner(cli, plan, telemetry.clone(), cli.verbose);
+            let telemetry = cli.make_overhead_telemetry();
+            let mut runner = make_runner(cli, plan, telemetry.clone(), false);
             let t = Instant::now();
             let text = match render_artifacts(&artifacts, &mut runner) {
                 Ok(text) => text,
@@ -448,8 +466,8 @@ fn main() -> ExitCode {
             let _ = bare.run(&cfg);
             bb = bb.min(t.elapsed());
 
-            let tel = cli.make_telemetry();
-            let mut r = make_runner(&cli, plan, tel.clone(), cli.verbose);
+            let tel = cli.make_overhead_telemetry();
+            let mut r = make_runner(&cli, plan, tel.clone(), false);
             let t = Instant::now();
             let res = r.run(&cfg);
             let elapsed = t.elapsed();

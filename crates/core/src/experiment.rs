@@ -46,8 +46,9 @@ pub struct ExperimentConfig {
     /// Record the full power trace (needed for the thermal figure).
     pub trace_power: bool,
     /// Record component spans on the virtual cycle clock (telemetry
-    /// `--trace-out`). Zero simulated cost: the report is bit-identical
-    /// with this on or off.
+    /// `--trace-out`). Observation only: the report is bit-identical
+    /// with this on or off, and derived fault streams ignore it
+    /// ([`Self::fault_key`]).
     pub record_spans: bool,
 }
 
@@ -111,33 +112,39 @@ impl ExperimentConfig {
     /// This is what makes parallel sweeps replayable: a cell's injected
     /// faults depend only on (master seed, cell identity), never on how
     /// many other cells ran, in what order, or on which worker thread.
-    /// Plans that inject nothing pass through untouched.
+    /// The identity hashed here is [`Self::fault_key`], which excludes
+    /// observation-only switches, so attaching `--trace-out` or
+    /// `--telemetry-overhead` to a faulted sweep injects exactly the
+    /// faults a bare run would. Plans that inject nothing pass through
+    /// untouched.
     pub fn derive_plan(&self, master: FaultPlan) -> FaultPlan {
         if master.is_none() {
             return master;
         }
-        let mut stream = DetRng::new(master.seed).derive(&self.key());
+        let mut stream = DetRng::new(master.seed).derive(&self.fault_key());
         master.with_seed(stream.next_u64())
     }
 
-    /// Unique cache key.
-    ///
-    /// The `spans` marker is appended only when recording is on, so keys
-    /// of span-free configurations — and with them every derived fault
-    /// stream ([`Self::derive_plan`] hashes this key) — are bit-identical
-    /// to what they were before the telemetry layer existed.
+    /// Span-agnostic cell identity: every axis that shapes the simulated
+    /// run, excluding pure-observation switches like
+    /// [`Self::record_spans`]. This is what [`Self::derive_plan`] hashes,
+    /// so injected-fault streams are bit-identical with span recording on
+    /// or off — and bit-identical to pre-telemetry builds.
+    pub fn fault_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{:?}|{:?}|{}",
+            self.benchmark, self.vm, self.heap_mb, self.platform, self.scale, self.trace_power
+        )
+    }
+
+    /// Unique cache key: [`Self::fault_key`] plus a `|spans` marker when
+    /// span recording is on, so a memo never serves a span-free summary
+    /// to a span-requesting caller. Keys of span-free configurations are
+    /// bit-identical to what they were before the telemetry layer
+    /// existed.
     pub fn key(&self) -> String {
         let spans = if self.record_spans { "|spans" } else { "" };
-        format!(
-            "{}|{}|{}|{:?}|{:?}|{}{}",
-            self.benchmark,
-            self.vm,
-            self.heap_mb,
-            self.platform,
-            self.scale,
-            self.trace_power,
-            spans
-        )
+        format!("{}{}", self.fault_key(), spans)
     }
 
     fn vm_config(&self) -> VmConfig {
@@ -338,17 +345,17 @@ mod tests {
     }
 
     #[test]
-    fn span_recording_marks_key_only_when_enabled() {
+    fn span_recording_marks_key_but_never_fault_streams() {
         let bare = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
         let spanned = bare.clone().with_spans();
         assert!(!bare.key().contains("spans"), "disabled keys unchanged");
+        // The memo must distinguish spanned from span-free summaries …
         assert_ne!(bare.key(), spanned.key());
-        // And with it, the derived fault stream of span-free cells.
+        // … but fault identity is observation-agnostic: recording spans
+        // must inject exactly the faults a bare run would.
+        assert_eq!(bare.fault_key(), spanned.fault_key());
         let master = FaultPlan::parse("drop=0.1,seed=7").unwrap();
-        assert_ne!(
-            bare.derive_plan(master).seed,
-            spanned.derive_plan(master).seed
-        );
+        assert_eq!(bare.derive_plan(master), spanned.derive_plan(master));
     }
 
     #[test]

@@ -467,15 +467,18 @@ impl SupervisedRunner {
             match value {
                 Ok(summary) => {
                     if executed_here {
+                        // Virtual cell duration comes off the report, so
+                        // counters-only hubs (`--metrics-out` without
+                        // `--trace-out`) still fill this histogram.
+                        self.telemetry.observe(
+                            HistId::CellVirtualUs,
+                            (summary.report.duration.seconds() * 1e6) as u64,
+                        );
                         if let Some(trace) = &summary.spans {
                             // Appended on the calling thread in submission
                             // order: the virtual span stream is therefore
                             // byte-identical for any worker count.
                             self.telemetry.record_cell(key, trace);
-                            self.telemetry.observe(
-                                HistId::CellVirtualUs,
-                                trace.cycles_to_us(trace.total_cycles()) as u64,
-                            );
                             self.telemetry
                                 .observe(HistId::CellSpans, trace.len() as u64);
                         }

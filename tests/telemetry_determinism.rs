@@ -5,7 +5,8 @@
 //! machine-readable artifact stamps the same `schema_version`.
 
 use vmprobe::{
-    figures, validate_json, ExperimentConfig, Runner, Snapshot, Telemetry, SCHEMA_VERSION,
+    figures, validate_json, ExperimentConfig, FaultPlan, Runner, Snapshot, Telemetry,
+    SCHEMA_VERSION,
 };
 use vmprobe_heap::CollectorKind;
 use vmprobe_workloads::InputScale;
@@ -112,6 +113,37 @@ fn schema_version_is_stamped_in_lockstep_across_artifacts() {
     assert_eq!(
         snap.schema_version, SCHEMA_VERSION,
         "snapshot constant out of lockstep"
+    );
+}
+
+#[test]
+fn fault_injection_is_unchanged_by_span_recording() {
+    // Fault streams derive from the span-agnostic fault_key(), so a
+    // faulted sweep injects byte-identical faults whether a span-recording
+    // hub is attached or not. Before this held, `--trace-out` or
+    // `--telemetry-overhead` combined with `--faults` silently reseeded
+    // every cell's fault stream (different drops, retries, quarantines)
+    // and the overhead mode compared two different workloads.
+    let plan = FaultPlan::parse("drop=0.1,dup=0.02,seed=11").expect("plan parses");
+    let sweep = |telemetry: Telemetry| {
+        let mut runner = Runner::new()
+            .scale(InputScale::Reduced)
+            .with_faults(plan)
+            .with_telemetry(telemetry);
+        let table = figures::fig6(&mut runner, &BENCHMARKS, &HEAPS)
+            .expect("faulted fig6 regenerates")
+            .to_string();
+        (table, runner.report().to_json())
+    };
+    let (bare_table, bare_report) = sweep(Telemetry::disabled());
+    let (spanned_table, spanned_report) = sweep(Telemetry::recording());
+    assert!(
+        bare_table == spanned_table,
+        "span recording changed faulted figure output"
+    );
+    assert!(
+        bare_report == spanned_report,
+        "span recording changed the injected-fault ledger:\nbare:    {bare_report}\nspanned: {spanned_report}"
     );
 }
 
