@@ -18,6 +18,13 @@
 //!   --report-json <p>   write the supervised-run report JSON to a path ('-' = stdout)
 //!   --trace-out <p>     write a Chrome trace-event JSON of the run ('-' = stdout)
 //!   --metrics-out <p>   write Prometheus-style text metrics ('-' = stdout)
+//!   --cache-dir <p>     persistent experiment cache: cells found there are
+//!                       restored instead of recomputed, fresh cells are
+//!                       written through, so an interrupted or repeated sweep
+//!                       only pays for what is missing
+//!   --no-cache          ignore --cache-dir (compute everything, write nothing)
+//!   --resume            with --cache-dir: report on stderr how many cells the
+//!                       cache restored vs. recomputed (stdout is unchanged)
 //!   --telemetry-overhead  run uninstrumented first, then instrumented, and
 //!                       report the telemetry tax as a percentage (timed
 //!                       passes always run quiet so --verbose narration is
@@ -29,9 +36,11 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use vmprobe::{
-    default_jobs, figures, ExperimentConfig, FaultPlan, NoopSink, Runner, Sink, StderrSink,
-    Telemetry, VmChoice,
+    default_jobs, figures, ExperimentCache, ExperimentConfig, FaultPlan, NoopSink, Runner, Sink,
+    StderrSink, Telemetry, VmChoice,
 };
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
@@ -50,6 +59,7 @@ fn usage() -> ExitCode {
          [--report-json <path>]\n\
          \x20      [--trace-out <path>] [--metrics-out <path>] [--telemetry-overhead] \
          [--verbose]\n\
+         \x20      [--cache-dir <path>] [--no-cache] [--resume]\n\
          \x20  or: vmprobe-run <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|t1..t5|all> \
          [flags]"
     );
@@ -78,6 +88,9 @@ struct Cli {
     report_json: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    resume: bool,
     telemetry_overhead: bool,
     verbose: bool,
 }
@@ -113,6 +126,22 @@ impl Cli {
         Telemetry::with_sink(self.spans_wanted(), sink)
     }
 
+    /// Open the persistent experiment cache the flags ask for, if any.
+    /// `--no-cache` wins over `--cache-dir` so scripts can keep a standing
+    /// cache argument and disable it per-invocation.
+    fn open_cache(&self) -> Result<Option<Arc<ExperimentCache>>, String> {
+        let Some(dir) = &self.cache_dir else {
+            return Ok(None);
+        };
+        if self.no_cache {
+            return Ok(None);
+        }
+        match ExperimentCache::open(dir) {
+            Ok(cache) => Ok(Some(Arc::new(cache))),
+            Err(e) => Err(format!("cannot open cache dir {dir}: {e}")),
+        }
+    }
+
     /// Telemetry for the *timed* instrumented passes of
     /// `--telemetry-overhead`: the same recording configuration, but
     /// always a quiet sink. `--verbose` narration is stderr I/O (mutex +
@@ -144,14 +173,15 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
             };
             // Boolean flags: never consume the next argument.
             match name.as_str() {
-                "telemetry-overhead" | "verbose" => {
+                "telemetry-overhead" | "verbose" | "no-cache" | "resume" => {
                     if inline.is_some() {
                         return ParseOutcome::Err(format!("--{name} takes no value"));
                     }
-                    if name == "verbose" {
-                        cli.verbose = true;
-                    } else {
-                        cli.telemetry_overhead = true;
+                    match name.as_str() {
+                        "verbose" => cli.verbose = true,
+                        "no-cache" => cli.no_cache = true,
+                        "resume" => cli.resume = true,
+                        _ => cli.telemetry_overhead = true,
                     }
                     continue;
                 }
@@ -189,6 +219,7 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                 "report-json" => cli.report_json = Some(value),
                 "trace-out" => cli.trace_out = Some(value),
                 "metrics-out" => cli.metrics_out = Some(value),
+                "cache-dir" => cli.cache_dir = Some(value),
                 other => return ParseOutcome::Err(format!("unknown flag --{other}")),
             }
         } else {
@@ -202,7 +233,13 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
 /// `verbose` are passed explicitly so the `--telemetry-overhead` timed
 /// passes (bare *and* instrumented) can build runners with narration
 /// switched off.
-fn make_runner(cli: &Cli, plan: FaultPlan, telemetry: Telemetry, verbose: bool) -> Runner {
+fn make_runner(
+    cli: &Cli,
+    plan: FaultPlan,
+    telemetry: Telemetry,
+    verbose: bool,
+    cache: Option<Arc<ExperimentCache>>,
+) -> Runner {
     let mut runner = Runner::new()
         .jobs(cli.jobs.unwrap_or_else(default_jobs))
         .with_faults(plan)
@@ -211,7 +248,27 @@ fn make_runner(cli: &Cli, plan: FaultPlan, telemetry: Telemetry, verbose: bool) 
     if let Some(r) = cli.retries {
         runner = runner.retries(r);
     }
+    if let Some(cache) = cache {
+        runner = runner.with_cache(cache);
+    }
     runner
+}
+
+/// The `--resume` accounting line. Stderr only: cached and cold runs must
+/// produce byte-identical stdout.
+fn print_resume_summary(runner: &Runner) {
+    let Some(cache) = runner.cache() else {
+        return;
+    };
+    let s = cache.stats();
+    eprintln!(
+        "resume: {} cells restored from {}, {} recomputed ({} stored, {} corrupt entries replaced)",
+        s.hits(),
+        cache.dir().display(),
+        s.misses() + s.corrupt(),
+        s.stores(),
+        s.corrupt(),
+    );
 }
 
 fn write_report(runner: &Runner, dest: &str) -> Result<(), String> {
@@ -322,7 +379,7 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
         let mut inst_best = Duration::MAX;
         let mut last: Option<(Runner, Telemetry, String)> = None;
         for _ in 0..OVERHEAD_PASSES {
-            let mut bare = make_runner(cli, plan, Telemetry::disabled(), false);
+            let mut bare = make_runner(cli, plan, Telemetry::disabled(), false, None);
             let t = Instant::now();
             if let Err(e) = render_artifacts(&artifacts, &mut bare) {
                 return fail(&e);
@@ -330,7 +387,7 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
             bare_best = bare_best.min(t.elapsed());
 
             let telemetry = cli.make_overhead_telemetry();
-            let mut runner = make_runner(cli, plan, telemetry.clone(), false);
+            let mut runner = make_runner(cli, plan, telemetry.clone(), false, None);
             let t = Instant::now();
             let text = match render_artifacts(&artifacts, &mut runner) {
                 Ok(text) => text,
@@ -353,13 +410,20 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let cache = match cli.open_cache() {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
     let telemetry = cli.make_telemetry();
-    let mut runner = make_runner(cli, plan, telemetry.clone(), cli.verbose);
+    let mut runner = make_runner(cli, plan, telemetry.clone(), cli.verbose, cache);
     let text = match render_artifacts(&artifacts, &mut runner) {
         Ok(text) => text,
         Err(e) => return fail(&e),
     };
     print!("{text}");
+    if cli.resume {
+        print_resume_summary(&runner);
+    }
     if let Some(dest) = &cli.report_json {
         if let Err(e) = write_report(&runner, dest) {
             return fail(&e);
@@ -381,6 +445,15 @@ fn main() -> ExitCode {
     let Some(bench) = cli.positionals.first() else {
         return usage();
     };
+    if cli.resume && cli.cache_dir.is_none() {
+        return fail("--resume needs --cache-dir (there is nothing to resume from)");
+    }
+    if cli.cache_dir.is_some() && !cli.no_cache && cli.telemetry_overhead {
+        return fail(
+            "--cache-dir cannot be combined with --telemetry-overhead: cache hits would \
+             replace the very work the timed passes are supposed to measure",
+        );
+    }
 
     let mut plan = match cli.faults.as_deref().map(FaultPlan::parse) {
         None => FaultPlan::none(),
@@ -459,7 +532,7 @@ fn main() -> ExitCode {
         let mut ib = Duration::MAX;
         let mut last = None;
         for _ in 0..OVERHEAD_PASSES {
-            let mut bare = make_runner(&cli, plan, Telemetry::disabled(), false);
+            let mut bare = make_runner(&cli, plan, Telemetry::disabled(), false, None);
             let t = Instant::now();
             // A failing config fails identically on the instrumented pass,
             // which owns error reporting.
@@ -467,7 +540,7 @@ fn main() -> ExitCode {
             bb = bb.min(t.elapsed());
 
             let tel = cli.make_overhead_telemetry();
-            let mut r = make_runner(&cli, plan, tel.clone(), false);
+            let mut r = make_runner(&cli, plan, tel.clone(), false, None);
             let t = Instant::now();
             let res = r.run(&cfg);
             let elapsed = t.elapsed();
@@ -478,13 +551,20 @@ fn main() -> ExitCode {
         (telemetry, runner, result, wall) = (tel, r, res, w);
         bare_best = Some((bb, ib));
     } else {
+        let cache = match cli.open_cache() {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        };
         telemetry = cli.make_telemetry();
-        let mut r = make_runner(&cli, plan, telemetry.clone(), cli.verbose);
+        let mut r = make_runner(&cli, plan, telemetry.clone(), cli.verbose, cache);
         let t = std::time::Instant::now();
         result = r.run(&cfg);
         wall = t.elapsed();
         runner = r;
         bare_best = None;
+    }
+    if cli.resume {
+        print_resume_summary(&runner);
     }
     if let Some(dest) = &cli.report_json {
         if let Err(e) = write_report(&runner, dest) {

@@ -1,0 +1,1083 @@
+//! Persistent, content-addressed experiment result store.
+//!
+//! The PR-2 [`ShardedMemo`](crate::ShardedMemo) deduplicates work *within*
+//! one process; this layer persists finished cells *across* processes, so a
+//! figure campaign re-run after a code-free restart (or an interrupted
+//! sweep resumed with `--cache-dir`) recomputes only what is missing.
+//!
+//! # Entry format
+//!
+//! One file per cell under the cache directory, named by a 128-bit hash of
+//! the cell's full cache key ([`ExperimentConfig::key`] plus the runner's
+//! fault-plan suffix). Entries are line-oriented text:
+//!
+//! ```text
+//! vmprobe-cache 1
+//! fingerprint <build fingerprint>
+//! key <escaped full key>
+//! body <line count> <fnv1a-64 checksum of the body>
+//! <body lines…>
+//! ```
+//!
+//! Every `f64` in the body is stored as the hexadecimal form of its IEEE
+//! bit pattern, so a restored summary is *bit-identical* to the computed
+//! one — the property that lets a warm cache re-render byte-identical
+//! figures.
+//!
+//! # Invalidation and corruption
+//!
+//! A probe returns [`CacheLookup::Miss`] when the entry is absent or
+//! *stale* (written by a different build fingerprint or schema, or a
+//! filename-hash collision whose stored key differs), and
+//! [`CacheLookup::Corrupt`] when the entry exists for this key but fails
+//! its checksum or does not parse. Neither is ever an error: the runner
+//! recomputes the cell and overwrites the entry. Writes are atomic
+//! (unique temp file in the cache directory, then `rename`), so a killed
+//! sweep never leaves a truncated entry a later resume would trust.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vmprobe_heap::{CollectorKind, GcStats};
+use vmprobe_platform::PlatformKind;
+use vmprobe_power::{
+    ComponentId, ComponentProfile, EnergyDelay, FaultStats, Joules, PowerSample, Report, Seconds,
+    Watts,
+};
+use vmprobe_telemetry::{SpanTrace, VirtualSpan};
+use vmprobe_vm::{CompilerStats, VmStats};
+use vmprobe_workloads::InputScale;
+
+use crate::experiment::{ExperimentConfig, RunSummary, VmChoice};
+
+/// On-disk format version; bumping it invalidates every existing entry.
+const FORMAT_VERSION: u32 = 1;
+
+/// Default bound on the in-memory layer (entries, not bytes), sized so a
+/// full figure campaign fits while a multi-day soak cannot grow without
+/// limit.
+const DEFAULT_MEM_CAPACITY: usize = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The build fingerprint baked into every entry: format version, telemetry
+/// schema version and crate version. Any change to one of them makes every
+/// existing entry stale (a silent miss), never a parse error.
+pub fn build_fingerprint() -> String {
+    format!(
+        "fmt{}|schema{}|v{}",
+        FORMAT_VERSION,
+        vmprobe_telemetry::SCHEMA_VERSION,
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+/// Outcome of one cache probe.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// A valid entry for this exact key and build; compute is skipped.
+    Hit(Arc<RunSummary>),
+    /// No entry, or a stale one (different build fingerprint or a
+    /// filename collision with a different key).
+    Miss,
+    /// An entry exists for this key but failed its checksum or did not
+    /// parse; the caller recomputes and overwrites it.
+    Corrupt,
+}
+
+/// Monotonic counters describing cache traffic. Hits, misses and corrupt
+/// probes partition the probe count; every probe happens exactly once per
+/// unique cell key (inside the memo's in-flight window), so all of these
+/// are deterministic across `--jobs` settings.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Probes served from a valid entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that found nothing usable (absent or stale).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Probes that found a damaged entry (recomputed, never fatal).
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Entries written (or overwritten) on disk.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped from the bounded in-memory layer.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded in-memory layer: FIFO by first insertion, so a long campaign's
+/// resident set stops growing at the capacity bound while the disk layer
+/// keeps everything.
+#[derive(Debug, Default)]
+struct MemLayer {
+    map: HashMap<String, Arc<RunSummary>>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl MemLayer {
+    /// Insert and evict down to capacity; returns how many entries fell out.
+    fn insert(&mut self, key: &str, value: Arc<RunSummary>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if self.map.insert(key.to_owned(), value).is_none() {
+            self.order.push_back(key.to_owned());
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+}
+
+/// Disk-backed, content-addressed store for finished experiment cells.
+///
+/// Layered *under* the in-process memo by the runner: the memo still
+/// deduplicates concurrent duplicates, the cache persists results across
+/// processes. Lookups and stores never fail the sweep — I/O problems and
+/// damaged entries degrade to recomputation.
+#[derive(Debug)]
+pub struct ExperimentCache {
+    dir: PathBuf,
+    fingerprint: String,
+    mem: Mutex<MemLayer>,
+    stats: CacheStats,
+    tmp_seq: AtomicU64,
+}
+
+impl ExperimentCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory cannot be created —
+    /// the only fatal path in the module, because a cache the user asked
+    /// for but that cannot persist anything is a misconfiguration.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            fingerprint: build_fingerprint(),
+            mem: Mutex::new(MemLayer {
+                capacity: DEFAULT_MEM_CAPACITY,
+                ..MemLayer::default()
+            }),
+            stats: CacheStats::default(),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Bound the in-memory layer to `capacity` entries (0 disables it;
+    /// the disk layer is unaffected).
+    #[must_use]
+    pub fn with_mem_capacity(self, capacity: usize) -> Self {
+        self.mem.lock().expect("cache mem lock").capacity = capacity;
+        self
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// File an entry for `key` lives in.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        let lo = fnv1a(key.as_bytes(), FNV_OFFSET);
+        let hi = fnv1a(key.as_bytes(), FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+        self.dir.join(format!("{hi:016x}{lo:016x}.entry"))
+    }
+
+    /// Probe for `key`, checking the in-memory layer first, then disk.
+    pub fn lookup(&self, key: &str) -> CacheLookup {
+        if let Some(hit) = self.mem.lock().expect("cache mem lock").map.get(key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Hit(Arc::clone(hit));
+        }
+        let bytes = match fs::read(self.entry_path(key)) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Miss;
+            }
+        };
+        // The file exists, so anything unreadable from here on is damage,
+        // including bit flips that break the UTF-8 encoding itself.
+        let Ok(text) = String::from_utf8(bytes) else {
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Corrupt;
+        };
+        match parse_entry(&text, key, &self.fingerprint) {
+            Parsed::Valid(summary) => {
+                let summary = Arc::new(*summary);
+                let ev = self
+                    .mem
+                    .lock()
+                    .expect("cache mem lock")
+                    .insert(key, Arc::clone(&summary));
+                self.stats.evictions.fetch_add(ev, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Hit(summary)
+            }
+            Parsed::Stale => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
+            }
+            Parsed::Corrupt => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Corrupt
+            }
+        }
+    }
+
+    /// Persist a freshly computed summary under `key` (atomic write:
+    /// unique temp file, then rename). I/O failure is swallowed — the
+    /// sweep's results are already in memory and must not be lost to a
+    /// full disk.
+    pub fn store(&self, key: &str, summary: &Arc<RunSummary>) {
+        let text = render_entry(key, &self.fingerprint, summary);
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let ok = fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_ok();
+        if ok {
+            self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+        let ev = self
+            .mem
+            .lock()
+            .expect("cache mem lock")
+            .insert(key, Arc::clone(summary));
+        self.stats.evictions.fetch_add(ev, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec
+// ---------------------------------------------------------------------------
+
+enum Parsed {
+    Valid(Box<RunSummary>),
+    Stale,
+    Corrupt,
+}
+
+/// Escape a string into a single whitespace-free token.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn p_f64(t: Option<&str>) -> Option<f64> {
+    u64::from_str_radix(t?, 16).ok().map(f64::from_bits)
+}
+
+fn p_u64(t: Option<&str>) -> Option<u64> {
+    t?.parse().ok()
+}
+
+fn p_usize(t: Option<&str>) -> Option<usize> {
+    t?.parse().ok()
+}
+
+fn p_i64(t: Option<&str>) -> Option<i64> {
+    t?.parse().ok()
+}
+
+fn p_bool(t: Option<&str>) -> Option<bool> {
+    match t? {
+        "t" => Some(true),
+        "f" => Some(false),
+        _ => None,
+    }
+}
+
+fn platform_tag(p: PlatformKind) -> &'static str {
+    match p {
+        PlatformKind::PentiumM => "p6",
+        PlatformKind::Pxa255 => "pxa",
+    }
+}
+
+fn p_platform(t: Option<&str>) -> Option<PlatformKind> {
+    match t? {
+        "p6" => Some(PlatformKind::PentiumM),
+        "pxa" => Some(PlatformKind::Pxa255),
+        _ => None,
+    }
+}
+
+fn scale_tag(s: InputScale) -> &'static str {
+    match s {
+        InputScale::Full => "full",
+        InputScale::Reduced => "reduced",
+    }
+}
+
+fn p_scale(t: Option<&str>) -> Option<InputScale> {
+    match t? {
+        "full" => Some(InputScale::Full),
+        "reduced" => Some(InputScale::Reduced),
+        _ => None,
+    }
+}
+
+fn vm_tag(vm: &VmChoice) -> String {
+    match vm {
+        VmChoice::Jikes(c) => format!(
+            "jikes:{}",
+            match c {
+                CollectorKind::SemiSpace => "ss",
+                CollectorKind::MarkSweep => "ms",
+                CollectorKind::GenCopy => "gencopy",
+                CollectorKind::GenMs => "genms",
+                CollectorKind::KaffeIncremental => "kaffeinc",
+            }
+        ),
+        VmChoice::Kaffe => "kaffe".to_owned(),
+    }
+}
+
+fn p_vm(t: Option<&str>) -> Option<VmChoice> {
+    match t? {
+        "kaffe" => Some(VmChoice::Kaffe),
+        "jikes:ss" => Some(VmChoice::Jikes(CollectorKind::SemiSpace)),
+        "jikes:ms" => Some(VmChoice::Jikes(CollectorKind::MarkSweep)),
+        "jikes:gencopy" => Some(VmChoice::Jikes(CollectorKind::GenCopy)),
+        "jikes:genms" => Some(VmChoice::Jikes(CollectorKind::GenMs)),
+        "jikes:kaffeinc" => Some(VmChoice::Jikes(CollectorKind::KaffeIncremental)),
+        _ => None,
+    }
+}
+
+/// Component labels are the static registry in [`ComponentId::ALL`]; a
+/// restored span or sample must point back into that registry (the label
+/// is a `&'static str`). An unknown label marks the entry corrupt.
+fn p_component(t: Option<&str>) -> Option<ComponentId> {
+    let label = t?;
+    ComponentId::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == label)
+}
+
+fn encode_body(s: &RunSummary) -> Vec<String> {
+    let mut b = Vec::new();
+    let c = &s.config;
+    b.push(format!(
+        "config {} {} {} {} {} {} {}",
+        esc(&c.benchmark),
+        vm_tag(&c.vm),
+        c.heap_mb,
+        platform_tag(c.platform),
+        scale_tag(c.scale),
+        if c.trace_power { "t" } else { "f" },
+        if c.record_spans { "t" } else { "f" },
+    ));
+    b.push(match s.result_checksum {
+        Some(v) => format!("checksum {v}"),
+        None => "checksum none".to_owned(),
+    });
+
+    let r = &s.report;
+    b.push(format!(
+        "report {} {} {} {} {} {} {}",
+        platform_tag(r.platform),
+        f64_hex(r.duration.seconds()),
+        f64_hex(r.cpu_energy.joules()),
+        f64_hex(r.mem_energy.joules()),
+        f64_hex(r.total_energy.joules()),
+        f64_hex(r.edp.joule_seconds()),
+        f64_hex(r.clean_total_energy.joules()),
+    ));
+    b.push(encode_faults("faults", &r.faults));
+    b.push(format!("components {}", r.components.len()));
+    for (id, p) in &r.components {
+        b.push(format!(
+            "c {} {} {} {} {} {} {} {} {} {}",
+            esc(id.label()),
+            f64_hex(p.time.seconds()),
+            f64_hex(p.energy.joules()),
+            f64_hex(p.mem_energy.joules()),
+            f64_hex(p.avg_power.watts()),
+            f64_hex(p.peak_power.watts()),
+            p.instructions,
+            f64_hex(p.ipc),
+            f64_hex(p.l2_miss_rate),
+            p.samples,
+        ));
+    }
+
+    let g = &s.gc;
+    b.push(format!(
+        "gc {} {} {} {} {} {} {} {} {} {}",
+        g.collections,
+        g.minor_collections,
+        g.major_collections,
+        g.increments,
+        g.total_pause_cycles,
+        g.total_copied_bytes,
+        g.total_marked_objects,
+        g.total_swept_objects,
+        g.barrier_remembers,
+        g.barrier_stores,
+    ));
+    let v = &s.vm;
+    b.push(format!(
+        "vm {} {} {} {} {} {} {} {} {} {}",
+        v.bytecodes,
+        v.calls,
+        v.allocations,
+        v.classes_loaded,
+        v.classfile_bytes_loaded,
+        v.gc_requests,
+        v.gc_increments,
+        v.quanta,
+        v.controller_activations,
+        v.max_stack_depth,
+    ));
+    let k = &s.compiler;
+    b.push(format!(
+        "compiler {} {} {} {}",
+        k.baseline_compiles, k.jit_compiles, k.opt_compiles, k.bytes_compiled,
+    ));
+    b.push(format!(
+        "alloc {} {}",
+        s.total_alloc_bytes, s.live_bytes_end
+    ));
+
+    match &s.power_trace {
+        None => b.push("trace none".to_owned()),
+        Some(t) => {
+            b.push(format!("trace {}", t.len()));
+            for p in t {
+                b.push(format!(
+                    "s {} {} {} {}",
+                    f64_hex(p.t),
+                    f64_hex(p.cpu_w),
+                    f64_hex(p.mem_w),
+                    esc(p.component.label()),
+                ));
+            }
+        }
+    }
+
+    match &s.spans {
+        None => b.push("spans none".to_owned()),
+        Some(t) => {
+            b.push(format!(
+                "spans {} {} {} {}",
+                f64_hex(t.clock_hz()),
+                t.max_depth(),
+                t.total_cycles(),
+                t.len(),
+            ));
+            for sp in t.spans() {
+                b.push(format!(
+                    "v {} {} {} {}",
+                    esc(sp.name),
+                    sp.start_cycles,
+                    sp.end_cycles,
+                    sp.depth,
+                ));
+            }
+        }
+    }
+    b
+}
+
+fn encode_faults(tag: &str, f: &FaultStats) -> String {
+    format!(
+        "{tag} {} {} {} {} {} {} {} {} {} {} {} {}",
+        f.samples_total,
+        f.samples_dropped,
+        f.samples_duplicated,
+        f.port_glitches,
+        f.wraps_unwrapped,
+        f.injected_oom,
+        f.budget_exhausted,
+        f64_hex(f.dropped_energy_j),
+        f64_hex(f.duplicated_energy_j),
+        f64_hex(f.noise_abs_j),
+        f64_hex(f.drift_abs_j),
+        f64_hex(f.misattributed_energy_j),
+    )
+}
+
+fn decode_faults<'a>(mut f: impl Iterator<Item = &'a str>) -> Option<FaultStats> {
+    Some(FaultStats {
+        samples_total: p_u64(f.next())?,
+        samples_dropped: p_u64(f.next())?,
+        samples_duplicated: p_u64(f.next())?,
+        port_glitches: p_u64(f.next())?,
+        wraps_unwrapped: p_u64(f.next())?,
+        injected_oom: p_u64(f.next())?,
+        budget_exhausted: p_u64(f.next())?,
+        dropped_energy_j: p_f64(f.next())?,
+        duplicated_energy_j: p_f64(f.next())?,
+        noise_abs_j: p_f64(f.next())?,
+        drift_abs_j: p_f64(f.next())?,
+        misattributed_energy_j: p_f64(f.next())?,
+    })
+}
+
+/// One body line, split on single spaces, with the leading tag consumed
+/// and checked.
+fn fields<'a>(line: &'a str, tag: &str) -> Option<impl Iterator<Item = &'a str>> {
+    let mut it = line.split(' ');
+    (it.next()? == tag).then_some(it)
+}
+
+fn decode_body(lines: &[&str]) -> Option<RunSummary> {
+    let mut it = lines.iter().copied();
+
+    let mut f = fields(it.next()?, "config")?;
+    let config = ExperimentConfig {
+        benchmark: unesc(f.next()?)?,
+        vm: p_vm(f.next())?,
+        heap_mb: u32::try_from(p_u64(f.next())?).ok()?,
+        platform: p_platform(f.next())?,
+        scale: p_scale(f.next())?,
+        trace_power: p_bool(f.next())?,
+        record_spans: p_bool(f.next())?,
+    };
+
+    let mut f = fields(it.next()?, "checksum")?;
+    let result_checksum = match f.next()? {
+        "none" => None,
+        v => Some(p_i64(Some(v))?),
+    };
+
+    let mut f = fields(it.next()?, "report")?;
+    let platform = p_platform(f.next())?;
+    let duration = Seconds::new(p_f64(f.next())?);
+    let cpu_energy = Joules::new(p_f64(f.next())?);
+    let mem_energy = Joules::new(p_f64(f.next())?);
+    let total_energy = Joules::new(p_f64(f.next())?);
+    let edp = EnergyDelay::new(p_f64(f.next())?);
+    let clean_total_energy = Joules::new(p_f64(f.next())?);
+    let faults = decode_faults(fields(it.next()?, "faults")?)?;
+
+    let mut f = fields(it.next()?, "components")?;
+    let n_components = p_usize(f.next())?;
+    let mut components = std::collections::BTreeMap::new();
+    for _ in 0..n_components {
+        let mut f = fields(it.next()?, "c")?;
+        let id = p_component(f.next())?;
+        let profile = ComponentProfile {
+            time: Seconds::new(p_f64(f.next())?),
+            energy: Joules::new(p_f64(f.next())?),
+            mem_energy: Joules::new(p_f64(f.next())?),
+            avg_power: Watts::new(p_f64(f.next())?),
+            peak_power: Watts::new(p_f64(f.next())?),
+            instructions: p_u64(f.next())?,
+            ipc: p_f64(f.next())?,
+            l2_miss_rate: p_f64(f.next())?,
+            samples: p_u64(f.next())?,
+        };
+        components.insert(id, profile);
+    }
+    let report = Report {
+        platform,
+        components,
+        duration,
+        cpu_energy,
+        mem_energy,
+        total_energy,
+        edp,
+        clean_total_energy,
+        faults,
+    };
+
+    let mut f = fields(it.next()?, "gc")?;
+    let gc = GcStats {
+        collections: p_u64(f.next())?,
+        minor_collections: p_u64(f.next())?,
+        major_collections: p_u64(f.next())?,
+        increments: p_u64(f.next())?,
+        total_pause_cycles: p_u64(f.next())?,
+        total_copied_bytes: p_u64(f.next())?,
+        total_marked_objects: p_u64(f.next())?,
+        total_swept_objects: p_u64(f.next())?,
+        barrier_remembers: p_u64(f.next())?,
+        barrier_stores: p_u64(f.next())?,
+    };
+
+    let mut f = fields(it.next()?, "vm")?;
+    let vm = VmStats {
+        bytecodes: p_u64(f.next())?,
+        calls: p_u64(f.next())?,
+        allocations: p_u64(f.next())?,
+        classes_loaded: p_u64(f.next())?,
+        classfile_bytes_loaded: p_u64(f.next())?,
+        gc_requests: p_u64(f.next())?,
+        gc_increments: p_u64(f.next())?,
+        quanta: p_u64(f.next())?,
+        controller_activations: p_u64(f.next())?,
+        max_stack_depth: p_u64(f.next())?,
+    };
+
+    let mut f = fields(it.next()?, "compiler")?;
+    let compiler = CompilerStats {
+        baseline_compiles: p_u64(f.next())?,
+        jit_compiles: p_u64(f.next())?,
+        opt_compiles: p_u64(f.next())?,
+        bytes_compiled: p_u64(f.next())?,
+    };
+
+    let mut f = fields(it.next()?, "alloc")?;
+    let total_alloc_bytes = p_u64(f.next())?;
+    let live_bytes_end = p_u64(f.next())?;
+
+    let mut f = fields(it.next()?, "trace")?;
+    let power_trace = match f.next()? {
+        "none" => None,
+        n => {
+            let n = p_usize(Some(n))?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut f = fields(it.next()?, "s")?;
+                samples.push(PowerSample {
+                    t: p_f64(f.next())?,
+                    cpu_w: p_f64(f.next())?,
+                    mem_w: p_f64(f.next())?,
+                    component: p_component(f.next())?,
+                });
+            }
+            Some(samples)
+        }
+    };
+
+    let mut f = fields(it.next()?, "spans")?;
+    let spans = match f.next()? {
+        "none" => None,
+        clock => {
+            let clock_hz = p_f64(Some(clock))?;
+            let max_depth = p_usize(f.next())?;
+            let total_cycles = p_u64(f.next())?;
+            let n = p_usize(f.next())?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut f = fields(it.next()?, "v")?;
+                vs.push(VirtualSpan {
+                    name: p_component(f.next())?.label(),
+                    start_cycles: p_u64(f.next())?,
+                    end_cycles: p_u64(f.next())?,
+                    depth: u8::try_from(p_u64(f.next())?).ok()?,
+                });
+            }
+            Some(SpanTrace::from_parts(clock_hz, vs, max_depth, total_cycles))
+        }
+    };
+
+    if it.next().is_some() {
+        return None; // trailing garbage inside the checksummed region
+    }
+    Some(RunSummary {
+        config,
+        result_checksum,
+        report,
+        gc,
+        vm,
+        compiler,
+        power_trace,
+        total_alloc_bytes,
+        live_bytes_end,
+        spans,
+    })
+}
+
+fn render_entry(key: &str, fingerprint: &str, summary: &RunSummary) -> String {
+    let body = encode_body(summary);
+    let body_text = body.join("\n");
+    let mut out = String::with_capacity(body_text.len() + 128);
+    out.push_str("vmprobe-cache 1\n");
+    out.push_str("fingerprint ");
+    out.push_str(&esc(fingerprint));
+    out.push('\n');
+    out.push_str("key ");
+    out.push_str(&esc(key));
+    out.push('\n');
+    out.push_str(&format!(
+        "body {} {:016x}\n",
+        body.len(),
+        fnv1a(body_text.as_bytes(), FNV_OFFSET)
+    ));
+    out.push_str(&body_text);
+    out.push('\n');
+    out
+}
+
+fn parse_entry(text: &str, key: &str, fingerprint: &str) -> Parsed {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("vmprobe-cache 1") => {}
+        // A future (or past) format revision is a stale entry, not damage.
+        Some(l) if l.starts_with("vmprobe-cache ") => return Parsed::Stale,
+        _ => return Parsed::Corrupt,
+    }
+    let Some(fp) = lines
+        .next()
+        .and_then(|l| l.strip_prefix("fingerprint "))
+        .and_then(unesc)
+    else {
+        return Parsed::Corrupt;
+    };
+    let Some(stored_key) = lines
+        .next()
+        .and_then(|l| l.strip_prefix("key "))
+        .and_then(unesc)
+    else {
+        return Parsed::Corrupt;
+    };
+    if fp != fingerprint || stored_key != key {
+        return Parsed::Stale;
+    }
+    let header = lines.next().and_then(|l| {
+        let mut f = l.strip_prefix("body ")?.split(' ');
+        let n = p_usize(f.next())?;
+        let sum = u64::from_str_radix(f.next()?, 16).ok()?;
+        f.next().is_none().then_some((n, sum))
+    });
+    let Some((n, expect_sum)) = header else {
+        return Parsed::Corrupt;
+    };
+    let body: Vec<&str> = lines.collect();
+    if body.len() != n {
+        return Parsed::Corrupt;
+    }
+    let body_text = body.join("\n");
+    if fnv1a(body_text.as_bytes(), FNV_OFFSET) != expect_sum {
+        return Parsed::Corrupt;
+    }
+    match decode_body(&body) {
+        Some(summary) => Parsed::Valid(Box::new(summary)),
+        None => Parsed::Corrupt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "vmprobe-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// A synthetic summary touching every field, with awkward float values
+    /// (subnormal, negative-zero, extremes) that only a bit-exact codec
+    /// survives.
+    fn summary() -> RunSummary {
+        let mut components = BTreeMap::new();
+        components.insert(
+            ComponentId::Application,
+            ComponentProfile {
+                time: Seconds::new(0.1 + 0.2), // 0.30000000000000004
+                energy: Joules::new(1.0 / 3.0),
+                mem_energy: Joules::new(f64::MIN_POSITIVE / 2.0),
+                avg_power: Watts::new(-0.0),
+                peak_power: Watts::new(12.5),
+                instructions: u64::MAX,
+                ipc: 0.87,
+                l2_miss_rate: 1e-300,
+                samples: 3,
+            },
+        );
+        components.insert(
+            ComponentId::Gc,
+            ComponentProfile {
+                time: Seconds::new(2e-3),
+                energy: Joules::new(0.5),
+                mem_energy: Joules::new(0.01),
+                avg_power: Watts::new(9.0),
+                peak_power: Watts::new(11.0),
+                instructions: 42,
+                ipc: 1.25,
+                l2_miss_rate: 0.125,
+                samples: 1,
+            },
+        );
+        let mut trace = SpanTrace::new(1.6e9);
+        trace.enter(ComponentId::Gc.label(), 100);
+        trace.enter(ComponentId::ClassLoader.label(), 150);
+        trace.exit(200);
+        trace.exit(400);
+        trace.finish(500);
+        RunSummary {
+            config: ExperimentConfig::jikes("_213_javac", CollectorKind::GenMs, 48).with_trace(),
+            result_checksum: Some(-12345),
+            report: Report {
+                platform: PlatformKind::PentiumM,
+                components,
+                duration: Seconds::new(1.2345678901234567),
+                cpu_energy: Joules::new(10.0),
+                mem_energy: Joules::new(0.7),
+                total_energy: Joules::new(10.7),
+                edp: EnergyDelay::new(13.2),
+                clean_total_energy: Joules::new(10.7),
+                faults: FaultStats {
+                    samples_total: 9,
+                    dropped_energy_j: 0.25,
+                    ..FaultStats::default()
+                },
+            },
+            gc: GcStats {
+                collections: 7,
+                barrier_stores: 1 << 40,
+                ..GcStats::default()
+            },
+            vm: VmStats {
+                bytecodes: 123_456_789,
+                max_stack_depth: 17,
+                ..VmStats::default()
+            },
+            compiler: CompilerStats {
+                jit_compiles: 11,
+                bytes_compiled: 2048,
+                ..CompilerStats::default()
+            },
+            power_trace: Some(vec![PowerSample {
+                t: 40e-6,
+                cpu_w: 7.25,
+                mem_w: 0.5,
+                component: ComponentId::Application,
+            }]),
+            total_alloc_bytes: 1 << 33,
+            live_bytes_end: 12_345,
+            spans: Some(trace),
+        }
+    }
+
+    fn assert_bit_identical(a: &RunSummary, b: &RunSummary) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.result_checksum, b.result_checksum);
+        assert_eq!(a.report, b.report);
+        // PartialEq on f64 treats -0.0 == 0.0; the bit patterns must match
+        // too for byte-identical rendering.
+        for (x, y) in a
+            .report
+            .components
+            .values()
+            .zip(b.report.components.values())
+        {
+            assert_eq!(x.avg_power.watts().to_bits(), y.avg_power.watts().to_bits());
+            assert_eq!(x.time.seconds().to_bits(), y.time.seconds().to_bits());
+        }
+        assert_eq!(a.gc, b.gc);
+        assert_eq!(a.vm, b.vm);
+        assert_eq!(a.compiler, b.compiler);
+        assert_eq!(a.power_trace, b.power_trace);
+        assert_eq!(a.total_alloc_bytes, b.total_alloc_bytes);
+        assert_eq!(a.live_bytes_end, b.live_bytes_end);
+        assert_eq!(a.spans, b.spans);
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let dir = test_dir("roundtrip");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        assert!(matches!(cache.lookup(&key), CacheLookup::Miss));
+        cache.store(&key, &s);
+        // Through the in-memory layer…
+        let CacheLookup::Hit(hit) = cache.lookup(&key) else {
+            panic!("expected mem hit");
+        };
+        assert_bit_identical(&s, &hit);
+        // …and through the disk codec alone.
+        let cold = ExperimentCache::open(&dir).unwrap();
+        let CacheLookup::Hit(hit) = cold.lookup(&key) else {
+            panic!("expected disk hit");
+        };
+        assert_bit_identical(&s, &hit);
+        assert_eq!(cold.stats().hits(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_flagged_never_fatal() {
+        let dir = test_dir("corrupt");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        cache.store(&key, &s);
+        // Flip bytes in the middle of the entry on disk.
+        let path = cache.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        bytes[mid + 1] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        let cold = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(cold.lookup(&key), CacheLookup::Corrupt));
+        assert_eq!(cold.stats().corrupt(), 1);
+        // Recompute-and-overwrite heals the entry.
+        cold.store(&key, &s);
+        let fresh = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(fresh.lookup(&key), CacheLookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_corrupt() {
+        let dir = test_dir("truncated");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        cache.store(&key, &s);
+        let path = cache.entry_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let cold = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(cold.lookup(&key), CacheLookup::Corrupt));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_is_a_silent_miss() {
+        let dir = test_dir("stale");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        cache.store(&key, &s);
+        let path = cache.entry_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        let doctored = text.replacen(&build_fingerprint(), "fmt0|schema0|v0.0.0", 1);
+        assert_ne!(text, doctored, "fingerprint line must be present");
+        fs::write(&path, doctored).unwrap();
+        let cold = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(cold.lookup(&key), CacheLookup::Miss));
+        assert_eq!(cold.stats().corrupt(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_collision_on_filename_is_detected() {
+        let dir = test_dir("collision");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        cache.store(&key, &s);
+        // Another key whose entry file we overwrite to simulate a 128-bit
+        // hash collision: the stored key line disagrees, so the probe is a
+        // miss, not a wrong answer.
+        let text = fs::read_to_string(cache.entry_path(&key)).unwrap();
+        let other = "some|other|key";
+        fs::write(cache.entry_path(other), text).unwrap();
+        let cold = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(cold.lookup(other), CacheLookup::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_layer_is_bounded_fifo() {
+        let dir = test_dir("bounded");
+        let cache = ExperimentCache::open(&dir).unwrap().with_mem_capacity(2);
+        let s = Arc::new(summary());
+        cache.store("k1", &s);
+        cache.store("k2", &s);
+        cache.store("k3", &s);
+        assert_eq!(cache.stats().evictions(), 1);
+        // Evicted entries still hit from disk.
+        assert!(matches!(cache.lookup("k1"), CacheLookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_roundtrips_awkward_strings() {
+        for s in ["a b", "a\\b", "line\nbreak", "", "plain", "\\s \\n"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+            assert!(!esc(s).contains(' '), "escaped form must be one token");
+        }
+        assert_eq!(unesc("bad\\x"), None);
+    }
+}

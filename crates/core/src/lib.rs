@@ -37,6 +37,7 @@
 //! `DESIGN.md`).
 
 #![warn(missing_docs)]
+pub mod cache;
 mod experiment;
 pub mod figures;
 pub mod json;
@@ -45,6 +46,7 @@ mod scale;
 pub mod sweep;
 mod table;
 
+pub use cache::{CacheLookup, CacheStats, ExperimentCache};
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
 pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};

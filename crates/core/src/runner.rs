@@ -43,6 +43,7 @@ use vmprobe_telemetry::{CounterId, HistId, HostSpanGuard, StderrSink, Telemetry}
 use vmprobe_vm::VmError;
 use vmprobe_workloads::InputScale;
 
+use crate::cache::{CacheLookup, ExperimentCache};
 use crate::json::JsonObj;
 use crate::sweep::{ShardedMemo, WorkStealingPool};
 use crate::{ExperimentConfig, ExperimentError, RunSummary};
@@ -76,7 +77,22 @@ struct StoredFailure {
 /// failure every later request replays without executing anything.
 type CellResult = Result<Arc<RunSummary>, StoredFailure>;
 
-/// Everything one *executing* cell contributes to the campaign report.
+/// How the persistent cache participated in resolving one cell.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum CacheProbe {
+    /// No cache attached.
+    #[default]
+    None,
+    /// Restored from a valid entry; compute was skipped.
+    Hit,
+    /// Probe found nothing usable; the cell was computed.
+    Miss,
+    /// Probe found a damaged entry; the cell was recomputed.
+    Corrupt,
+}
+
+/// Everything one *resolving* cell contributes to the campaign report
+/// (computed on a worker, or restored there from the persistent cache).
 /// Produced on a worker thread, merged on the calling thread in batch
 /// submission order.
 #[derive(Debug, Default)]
@@ -92,6 +108,12 @@ struct ExecutionRecord {
     /// Fault ledger of the successful run, when there was one.
     success_faults: Option<FaultStats>,
     quarantined: Option<QuarantinedConfig>,
+    /// Persistent-cache involvement (probed once per unique key, inside
+    /// the memo's in-flight window, so the derived counters are
+    /// deterministic across worker counts).
+    cache_probe: CacheProbe,
+    /// A freshly computed summary was written through to the cache.
+    cache_stored: bool,
 }
 
 /// One cell a tolerant figure sweep could not fill.
@@ -230,6 +252,7 @@ pub struct SupervisedRunner {
     seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
     telemetry: Telemetry,
+    cache: Option<Arc<ExperimentCache>>,
 }
 
 /// The historical name: every figure entry point takes `&mut Runner`.
@@ -273,6 +296,23 @@ impl SupervisedRunner {
     /// [`SupervisedRunner::with_telemetry`] was called).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Layer a persistent [`ExperimentCache`] under the in-process memo:
+    /// each unique cell probes the cache exactly once before computing
+    /// (hits skip the run entirely) and writes its freshly computed
+    /// summary through, so an interrupted sweep resumed with the same
+    /// cache directory recomputes only the missing cells. Restored cells
+    /// merge in submission order like every other cell, preserving the
+    /// jobs=1 ≡ jobs=N byte-identity contract.
+    pub fn with_cache(mut self, cache: Arc<ExperimentCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ExperimentCache>> {
+        self.cache.as_ref()
     }
 
     /// Open a host-clock span for a figure phase on the `runner` track
@@ -416,6 +456,7 @@ impl SupervisedRunner {
         let max_retries = self.max_retries;
         let verbose = self.verbose;
         let telemetry = self.telemetry.clone();
+        let cache = self.cache.clone();
         // A panicking cell aborts the batch with the cell's key in the
         // message rather than poisoning pool/memo locks (`SweepError`).
         let executed: Vec<(usize, Option<ExecutionRecord>)> = pool
@@ -430,8 +471,38 @@ impl SupervisedRunner {
                     let plan = config.derive_plan(master);
                     let mut record = None;
                     let (_, _) = memo.get_or_compute(key, || {
-                        let (result, rec) =
+                        // Probe the persistent layer first: exactly one
+                        // probe per unique key (concurrent duplicates are
+                        // held by the memo's in-flight window), so cache
+                        // counters are thread-count-independent.
+                        let mut probe = CacheProbe::None;
+                        if let Some(cache) = &cache {
+                            let started = std::time::Instant::now();
+                            match cache.lookup(key) {
+                                CacheLookup::Hit(summary) => {
+                                    record = Some(ExecutionRecord {
+                                        cache_probe: CacheProbe::Hit,
+                                        success_faults: Some(summary.report.faults),
+                                        host_us: started
+                                            .elapsed()
+                                            .as_micros()
+                                            .min(u128::from(u64::MAX))
+                                            as u64,
+                                        ..ExecutionRecord::default()
+                                    });
+                                    return Ok(summary);
+                                }
+                                CacheLookup::Miss => probe = CacheProbe::Miss,
+                                CacheLookup::Corrupt => probe = CacheProbe::Corrupt,
+                            }
+                        }
+                        let (result, mut rec) =
                             execute_cell(config, plan, max_retries, verbose, &telemetry);
+                        rec.cache_probe = probe;
+                        if let (Some(cache), Ok(summary)) = (&cache, &result) {
+                            cache.store(key, summary);
+                            rec.cache_stored = true;
+                        }
                         record = Some(rec);
                         result
                     });
@@ -449,16 +520,29 @@ impl SupervisedRunner {
         let mut out = Vec::with_capacity(cells.len());
         for (i, (config, key)) in cells.iter().enumerate() {
             let first_here = first.get(key.as_str()) == Some(&i);
-            let executed_here = first_here && records.contains_key(&i);
-            if executed_here {
-                self.telemetry.count(CounterId::CellsExecuted, 1);
+            let rec = if first_here { records.remove(&i) } else { None };
+            // This occurrence resolved the cell in this batch — by
+            // computing it or by restoring it from the persistent cache.
+            let resolved_here = rec.is_some();
+            if let Some(rec) = rec {
+                if rec.cache_probe == CacheProbe::Hit {
+                    self.telemetry.count(CounterId::CacheHits, 1);
+                } else {
+                    self.telemetry.count(CounterId::CellsExecuted, 1);
+                    match rec.cache_probe {
+                        CacheProbe::Miss => self.telemetry.count(CounterId::CacheMisses, 1),
+                        CacheProbe::Corrupt => self.telemetry.count(CounterId::CacheCorrupt, 1),
+                        CacheProbe::None | CacheProbe::Hit => {}
+                    }
+                    if rec.cache_stored {
+                        self.telemetry.count(CounterId::CacheStores, 1);
+                    }
+                }
+                self.apply_record(rec);
             } else if first_here {
                 self.telemetry.count(CounterId::CellsFromCache, 1);
             } else {
                 self.telemetry.count(CounterId::CellsDedupedInBatch, 1);
-            }
-            if let Some(rec) = records.remove(&i) {
-                self.apply_record(rec);
             }
             let value = self
                 .memo
@@ -466,7 +550,7 @@ impl SupervisedRunner {
                 .expect("every batch key resolves before merge");
             match value {
                 Ok(summary) => {
-                    if executed_here {
+                    if resolved_here {
                         // Virtual cell duration comes off the report, so
                         // counters-only hubs (`--metrics-out` without
                         // `--trace-out`) still fill this histogram.
@@ -486,7 +570,7 @@ impl SupervisedRunner {
                     out.push(Ok(summary));
                 }
                 Err(failure) => {
-                    if executed_here {
+                    if resolved_here {
                         // The executing occurrence surfaces the underlying
                         // error, exactly like the serial retry loop did.
                         out.push(Err(failure.underlying.clone()));

@@ -240,6 +240,104 @@ fn telemetry_overhead_mode_reports_a_tax_line() {
 }
 
 #[test]
+fn cache_dir_round_trip_hits_on_the_second_run() {
+    let dir = std::env::temp_dir().join(format!("vmprobe-cli-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache = dir.join("cache");
+    let args = [
+        "moldyn",
+        "gencopy",
+        "32",
+        "p6",
+        "s10",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--resume",
+    ];
+    let cold = bin().args(args).output().expect("binary runs");
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        err.contains("resume: 0 cells restored") && err.contains("1 recomputed (1 stored"),
+        "cold stderr: {err}"
+    );
+
+    let warm = bin().args(args).output().expect("binary runs");
+    assert!(warm.status.success());
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        err.contains("resume: 1 cells restored") && err.contains("0 recomputed"),
+        "warm stderr: {err}"
+    );
+    // Everything but the host wall-clock reading must match.
+    let strip_wall = |out: &[u8]| {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| !l.starts_with("simulated"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_wall(&cold.stdout), strip_wall(&warm.stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_cache_disables_the_cache_dir() {
+    let dir = std::env::temp_dir().join(format!("vmprobe-cli-nocache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache = dir.join("cache");
+    let out = bin()
+        .args([
+            "moldyn",
+            "gencopy",
+            "32",
+            "p6",
+            "s10",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--no-cache",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!cache.exists(), "--no-cache must not create the cache dir");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_cache_dir_is_an_error() {
+    let out = bin()
+        .args(["moldyn", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume needs --cache-dir"), "stderr: {err}");
+}
+
+#[test]
+fn cache_dir_conflicts_with_telemetry_overhead() {
+    let out = bin()
+        .args(["moldyn", "--cache-dir", "x", "--telemetry-overhead"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--cache-dir cannot be combined with --telemetry-overhead"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
 fn boolean_flags_reject_inline_values() {
     let out = bin()
         .args(["moldyn", "--verbose=yes"])

@@ -12,6 +12,21 @@ use crate::{ComponentId, Joules, PowerModel, Seconds, Watts};
 /// used" (Section IV-D).
 pub const DAQ_PERIOD_S: f64 = 40e-6;
 
+/// Convert a wall-clock sampling period to whole cycles at `freq_hz`,
+/// rounded to nearest and clamped to at least one cycle.
+///
+/// Truncation here is not harmless: at non-integral DVFS clocks the lost
+/// fraction accumulates as sampling-rate drift, and at very low clocks
+/// `period_s * freq_hz < 1` truncates to a zero-period busy-sample loop.
+pub(crate) fn period_cycles_at(period_s: f64, freq_hz: f64) -> u64 {
+    let cycles = (period_s * freq_hz).round();
+    if cycles < 1.0 {
+        1
+    } else {
+        cycles as u64
+    }
+}
+
 /// One recorded sample (kept only when tracing is enabled).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerSample {
@@ -103,8 +118,22 @@ pub struct Daq {
     model: PowerModel,
     freq_hz: f64,
     period_cycles: u64,
+    /// Exact (fractional) cycles per 40 µs window at the current clock.
+    period_cycles_f: f64,
+    /// Fractional cycles owed to the schedule: each window steps by a whole
+    /// number of cycles, and the rounding remainder is carried forward so
+    /// the boundaries track the 40 µs wall-clock grid without cumulative
+    /// drift at non-integral clocks.
+    carry: f64,
     next_due: u64,
     last: HpmSnapshot,
+    /// Wall-clock time of the previous sample (spans clock changes, where
+    /// a raw cycle delta no longer converts at a single frequency).
+    last_t_s: f64,
+    /// Wall-clock seconds accumulated before the most recent clock change.
+    time_base_s: f64,
+    /// Cycle count at the most recent clock change.
+    cycle_base: u64,
     acc: Vec<ComponentPower>,
     trace: Option<Vec<PowerSample>>,
     faults: FaultInjector,
@@ -161,17 +190,57 @@ impl Daq {
 
     /// DAQ with an explicit power model and clock (DVFS-scaled operation).
     pub fn with_model(model: PowerModel, freq_hz: f64, trace: bool) -> Self {
-        let period_cycles = (DAQ_PERIOD_S * freq_hz) as u64;
+        let period_cycles = period_cycles_at(DAQ_PERIOD_S, freq_hz);
         Self {
             model,
             freq_hz,
             period_cycles,
+            period_cycles_f: DAQ_PERIOD_S * freq_hz,
+            carry: 0.0,
             next_due: period_cycles,
             last: HpmSnapshot::default(),
+            last_t_s: 0.0,
+            time_base_s: 0.0,
+            cycle_base: 0,
             acc: vec![ComponentPower::default(); ComponentId::ALL.len()],
             trace: trace.then(Vec::new),
             faults: FaultInjector::new(FaultPlan::none()),
         }
+    }
+
+    /// Retarget the sampler to a new clock, effective at `now_cycles`.
+    ///
+    /// The DAQ is wall-clock hardware: it fires every 40 µs of real time no
+    /// matter what the CPU clock does. A DVFS transition or a thermal
+    /// 50 %-duty throttle changes how many *cycles* fit in 40 µs, so the
+    /// cycle period is recomputed and the already-scheduled next sample is
+    /// rescheduled to fire after the same remaining *wall-clock* time at
+    /// the new rate. Without this, a throttled run silently samples at
+    /// 80 µs of wall time — the bug behind the Fig-1 regression test.
+    pub fn set_clock(&mut self, now_cycles: u64, freq_hz: f64) {
+        debug_assert!(freq_hz > 0.0, "clock must be positive");
+        let remaining_s = self.next_due.saturating_sub(now_cycles) as f64 / self.freq_hz;
+        self.time_base_s = self.wall_time_s(now_cycles);
+        self.cycle_base = now_cycles;
+        self.freq_hz = freq_hz;
+        self.period_cycles = period_cycles_at(DAQ_PERIOD_S, freq_hz);
+        self.period_cycles_f = DAQ_PERIOD_S * freq_hz;
+        self.carry = 0.0;
+        let remaining_cycles = (remaining_s * freq_hz).round() as u64;
+        self.next_due = now_cycles + remaining_cycles;
+    }
+
+    /// The clock the sampler currently converts cycles with.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Wall-clock seconds for a cycle count, piecewise across clock
+    /// changes. With no change this reduces to `cycles / freq_hz` exactly
+    /// (`0.0 + x == x`), so fixed-clock runs are bit-identical to the
+    /// single-segment conversion.
+    fn wall_time_s(&self, cycles: u64) -> f64 {
+        self.time_base_s + (cycles - self.cycle_base) as f64 / self.freq_hz
     }
 
     /// Attach a fault plan. The injected sequence is fully determined by
@@ -212,13 +281,38 @@ impl Daq {
             *snap
         };
         let delta = snap.delta_since(&self.last);
-        let dt = delta.cycles as f64 / self.freq_hz;
+        // Field-level form of `wall_time_s` (a method call would conflict
+        // with the live borrow of `self.faults`).
+        let t_now = self.time_base_s + (snap.cycles - self.cycle_base) as f64 / self.freq_hz;
+        // A single cycle delta converts at one frequency only while no
+        // clock change landed inside the window; otherwise the wall-clock
+        // anchors carry the piecewise conversion.
+        let dt = if self.last.cycles >= self.cycle_base {
+            delta.cycles as f64 / self.freq_hz
+        } else {
+            t_now - self.last_t_s
+        };
         let cpu = self.model.cpu_power(&delta, dt);
         let mem = self.model.dram_power(&delta, dt);
         let dt_s = Seconds::new(dt);
-        // Window consumed regardless of the sample's fate below.
+        // Window consumed regardless of the sample's fate below. The next
+        // boundary steps by the exact fractional period plus the carried
+        // remainder, so the schedule tracks the 40 µs wall-clock grid with
+        // no cumulative drift at non-integral clocks.
         self.last = *snap;
-        self.next_due = snap.cycles + self.period_cycles;
+        self.last_t_s = t_now;
+        let step_f = self.period_cycles_f + self.carry;
+        if step_f < 1.0 {
+            // Degenerate clock: one sample per cycle is the densest the
+            // schedule can get; owing fractional debt would wind the carry
+            // toward -inf, so it resets.
+            self.carry = 0.0;
+            self.next_due = snap.cycles + 1;
+        } else {
+            let step = step_f.round();
+            self.carry = step_f - step;
+            self.next_due = snap.cycles + step as u64;
+        }
 
         // Fault-free ground truth for this due window.
         let clean_cpu_j = cpu.watts() * dt;
@@ -246,7 +340,7 @@ impl Daq {
         // Calibration drift (monotone in time) and bounded sensor noise
         // scale the measured power; the exact deviation each introduces is
         // logged so the error bound is an identity, not an estimate.
-        let drift_m = 1.0 + f.plan.calib_drift * (snap.cycles as f64 / self.freq_hz);
+        let drift_m = 1.0 + f.plan.calib_drift * t_now;
         let noise = if f.plan.noise_sigma > 0.0 {
             (f.plan.noise_sigma * f.rng.gauss())
                 .clamp(-3.0 * f.plan.noise_sigma, 3.0 * f.plan.noise_sigma)
@@ -287,7 +381,7 @@ impl Daq {
 
         if let Some(t) = &mut self.trace {
             t.push(PowerSample {
-                t: snap.cycles as f64 / self.freq_hz,
+                t: t_now,
                 cpu_w: meas_cpu.watts(),
                 mem_w: meas_mem.watts(),
                 component: target,
@@ -382,6 +476,75 @@ mod tests {
         let t = daq.trace().unwrap();
         assert!(t.len() >= 4);
         assert!(t.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn period_rounds_to_nearest_and_never_reaches_zero() {
+        // Exact at the nominal platform clocks (truncation and rounding
+        // agree here, which is what keeps the golden figures stable).
+        assert_eq!(period_cycles_at(DAQ_PERIOD_S, 1.6e9), 64_000);
+        assert_eq!(period_cycles_at(DAQ_PERIOD_S, 4e8), 16_000);
+        // Non-integral products round to nearest instead of truncating:
+        // 40 us at 1.23456789 GHz is 49 382.7156 cycles.
+        assert_eq!(period_cycles_at(DAQ_PERIOD_S, 1.234_567_89e9), 49_383);
+        // Sub-cycle periods clamp to one cycle instead of degenerating to
+        // a zero-period busy-sample loop.
+        assert_eq!(period_cycles_at(DAQ_PERIOD_S, 10_000.0), 1);
+    }
+
+    #[test]
+    fn set_clock_preserves_remaining_wall_time_to_next_sample() {
+        let mut daq = Daq::with_model(PowerModel::new(PlatformKind::PentiumM), 1.6e9, false);
+        assert_eq!(daq.next_due_cycles(), 64_000);
+        // Halve the clock 20 us before the pending sample: the same 20 us
+        // of wall time is 16 000 cycles at the new rate.
+        daq.set_clock(32_000, 0.8e9);
+        assert_eq!(daq.next_due_cycles(), 48_000);
+        assert_eq!(daq.freq_hz(), 0.8e9);
+    }
+
+    #[test]
+    fn throttled_run_still_samples_every_40_us_of_wall_time() {
+        // Fig-1 scenario: the thermal controller halves the effective clock
+        // (50 % duty) mid-run. The DAQ is wall-clock hardware, so it must
+        // keep sampling every 40 us of wall time; before the fix the period
+        // silently stretched to 80 us after the throttle.
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut daq = Daq::with_trace(PlatformKind::PentiumM);
+        // 0.1 s of wall time at the full 1.6 GHz clock...
+        let t1_cycles = (1.6e9 * 0.1) as u64;
+        while m.cycles() < t1_cycles {
+            let due = daq.next_due_cycles().min(t1_cycles);
+            m.stall((due - m.cycles()) as f64);
+            daq.observe(&m.snapshot(), ComponentId::Application);
+        }
+        // ...then the throttle lands and another 0.1 s of wall time passes
+        // at half frequency.
+        daq.set_clock(m.cycles(), 0.8e9);
+        let t2_cycles = t1_cycles + (0.8e9 * 0.1) as u64;
+        while m.cycles() < t2_cycles {
+            let due = daq.next_due_cycles().min(t2_cycles);
+            m.stall((due - m.cycles()) as f64);
+            daq.observe(&m.snapshot(), ComponentId::Application);
+        }
+        let trace = daq.trace().unwrap();
+        let expect = (0.2 / DAQ_PERIOD_S) as i64;
+        assert!(
+            (trace.len() as i64 - expect).abs() <= 1,
+            "expected ~{expect} samples over 0.2 s, got {}",
+            trace.len()
+        );
+        // Every consecutive pair is 40 us of wall time apart, including
+        // across the clock change (boundary rounding is at most half a
+        // cycle, 0.625 ns at 0.8 GHz).
+        for w in trace.windows(2) {
+            let dt = w[1].t - w[0].t;
+            assert!(
+                (dt - DAQ_PERIOD_S).abs() < 2e-9,
+                "inter-sample gap {dt} s at t={}",
+                w[1].t
+            );
+        }
     }
 
     #[test]

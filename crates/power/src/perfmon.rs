@@ -27,9 +27,15 @@ pub struct PerfRecord {
 #[derive(Debug, Clone)]
 pub struct PerfMonitor {
     freq_hz: f64,
+    /// OS-timer period in wall-clock seconds (platform-specific).
+    period_s: f64,
     period_cycles: u64,
     next_due: u64,
     last: HpmSnapshot,
+    /// Wall-clock seconds accumulated before the most recent clock change.
+    time_base_s: f64,
+    /// Cycle count at the most recent clock change.
+    cycle_base: u64,
     records: Vec<PerfRecord>,
     /// When set, reads see a 32-bit counter file and are unwrapped.
     wrap32: bool,
@@ -49,16 +55,40 @@ impl PerfMonitor {
             PlatformKind::PentiumM => 1e-3,
             PlatformKind::Pxa255 => 10e-3,
         };
-        let period_cycles = (period_s * freq_hz) as u64;
+        let period_cycles = crate::daq::period_cycles_at(period_s, freq_hz);
         Self {
             freq_hz,
+            period_s,
             period_cycles,
             next_due: period_cycles,
             last: HpmSnapshot::default(),
+            time_base_s: 0.0,
+            cycle_base: 0,
             records: Vec::new(),
             wrap32: false,
             unwrapper: HpmUnwrapper::new(),
         }
+    }
+
+    /// Retarget the sampler to a new clock, effective at `now_cycles`: the
+    /// OS timer keeps firing on wall-clock time, so the period in cycles is
+    /// recomputed and the pending tick is rescheduled to fire after the
+    /// same remaining wall-clock time at the new rate.
+    pub fn set_clock(&mut self, now_cycles: u64, freq_hz: f64) {
+        debug_assert!(freq_hz > 0.0, "clock must be positive");
+        let remaining_s = self.next_due.saturating_sub(now_cycles) as f64 / self.freq_hz;
+        self.time_base_s = self.wall_time_s(now_cycles);
+        self.cycle_base = now_cycles;
+        self.freq_hz = freq_hz;
+        self.period_cycles = crate::daq::period_cycles_at(self.period_s, freq_hz);
+        self.next_due = now_cycles + (remaining_s * freq_hz).round() as u64;
+    }
+
+    /// Wall-clock seconds for a cycle count, piecewise across clock
+    /// changes; reduces to `cycles / freq_hz` exactly while the clock has
+    /// never changed.
+    fn wall_time_s(&self, cycles: u64) -> f64 {
+        self.time_base_s + (cycles - self.cycle_base) as f64 / self.freq_hz
     }
 
     /// Simulate the physical 32-bit counter file: every observed snapshot is
@@ -95,7 +125,7 @@ impl PerfMonitor {
         };
         let delta = snap.delta_since(&self.last);
         self.records.push(PerfRecord {
-            t: snap.cycles as f64 / self.freq_hz,
+            t: self.wall_time_s(snap.cycles),
             component,
             delta,
         });

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use vmprobe_platform::{HpmDelta, Machine, PlatformKind};
 use vmprobe_power::{
     ComponentId, Daq, DvfsPoint, FaultPlan, PowerModel, Seconds, ThermalConfig, ThermalSim, Watts,
+    DAQ_PERIOD_S,
 };
 
 fn component(i: u8) -> ComponentId {
@@ -86,6 +87,34 @@ proptest! {
         prop_assert!(
             (ledger - truth).abs() <= 1e-9 * truth.max(1.0),
             "clean ledger {ledger} != fault-free run {truth}"
+        );
+    }
+
+    #[test]
+    fn daq_takes_floor_t_over_40us_samples_at_any_clock(
+        freq_mhz in 25.0f64..4000.0,
+        t_ms in 1.0f64..80.0,
+    ) {
+        // Over T simulated seconds the DAQ takes floor(T / 40 us) samples
+        // (within one boundary) for arbitrary clocks, including the
+        // non-integral cycle periods where a truncating schedule drifts.
+        let freq_hz = freq_mhz * 1e6;
+        let mut daq = Daq::with_model(PowerModel::new(PlatformKind::PentiumM), freq_hz, true);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let total_cycles = (t_ms * 1e-3 * freq_hz) as u64;
+        while m.cycles() < total_cycles {
+            let due = daq.next_due_cycles().min(total_cycles);
+            m.stall((due - m.cycles()) as f64);
+            daq.observe(&m.snapshot(), ComponentId::Application);
+        }
+        // Judge against the wall time actually simulated (total_cycles
+        // truncates the requested T by under one cycle).
+        let t_sim = total_cycles as f64 / freq_hz;
+        let expect = (t_sim / DAQ_PERIOD_S).floor() as i64;
+        let got = daq.trace().unwrap().len() as i64;
+        prop_assert!(
+            (got - expect).abs() <= 1,
+            "{got} samples over {t_sim} s at {freq_hz} Hz, want {expect}±1"
         );
     }
 

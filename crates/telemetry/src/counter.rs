@@ -38,11 +38,20 @@ pub enum CounterId {
     PhasesStarted,
     /// Log lines routed through the sink.
     LogLines,
+    /// Cells restored from the persistent experiment cache.
+    CacheHits,
+    /// Persistent-cache probes that found no usable entry.
+    CacheMisses,
+    /// Persistent-cache entries that failed their checksum or parse and
+    /// were transparently recomputed.
+    CacheCorrupt,
+    /// Entries written to the persistent cache.
+    CacheStores,
 }
 
 impl CounterId {
     /// All counters, in export order.
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 18] = [
         CounterId::CellsExecuted,
         CounterId::CellsFromCache,
         CounterId::CellsDedupedInBatch,
@@ -57,6 +66,10 @@ impl CounterId {
         CounterId::BatchesSubmitted,
         CounterId::PhasesStarted,
         CounterId::LogLines,
+        CounterId::CacheHits,
+        CounterId::CacheMisses,
+        CounterId::CacheCorrupt,
+        CounterId::CacheStores,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -76,6 +89,10 @@ impl CounterId {
             CounterId::BatchesSubmitted => "batches_submitted",
             CounterId::PhasesStarted => "phases_started",
             CounterId::LogLines => "log_lines",
+            CounterId::CacheHits => "cache_hits",
+            CounterId::CacheMisses => "cache_misses",
+            CounterId::CacheCorrupt => "cache_corrupt",
+            CounterId::CacheStores => "cache_stores",
         }
     }
 

@@ -53,6 +53,25 @@ impl SpanTrace {
         }
     }
 
+    /// Reassemble a finished trace from stored parts (persistent-cache
+    /// restore). The result behaves exactly like the original finished
+    /// trace: closed spans in close order, nothing open, and the recorded
+    /// depth and extent.
+    pub fn from_parts(
+        clock_hz: f64,
+        spans: Vec<VirtualSpan>,
+        max_depth: usize,
+        total_cycles: u64,
+    ) -> Self {
+        Self {
+            clock_hz,
+            spans,
+            open: Vec::new(),
+            max_depth,
+            total_cycles,
+        }
+    }
+
     /// Open a span at the current cycle count.
     pub fn enter(&mut self, name: &'static str, cycles: u64) {
         self.open.push((name, cycles));

@@ -9,8 +9,8 @@
 //!   and still sensitive to any change in the energy model, the sweep
 //!   engine, or the table renderers.
 //! * **full** (`#[ignore]`, run by the CI release leg): every paper
-//!   artifact at full paper scope, against goldens split from the
-//!   committed `figures_output.txt` content.
+//!   artifact at full paper scope, against the per-artifact goldens
+//!   committed under `tests/golden/full/`.
 //!
 //! To re-bless after an *intentional* model change:
 //!
