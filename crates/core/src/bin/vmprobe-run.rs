@@ -445,6 +445,12 @@ fn main() -> ExitCode {
     let Some(bench) = cli.positionals.first() else {
         return usage();
     };
+    if cli.resume && cli.no_cache {
+        return fail(
+            "--no-cache cannot be combined with --resume: resuming is exactly the act of \
+             reading the cache --no-cache disables",
+        );
+    }
     if cli.resume && cli.cache_dir.is_none() {
         return fail("--resume needs --cache-dir (there is nothing to resume from)");
     }

@@ -1,0 +1,151 @@
+//! The vmprobe serving daemon: a long-running, fault-contained,
+//! multi-tenant front end for the experiment engine.
+//!
+//! ```text
+//! vmprobe-serve --socket <path> [flags]
+//! flags:
+//!   --socket <path>             Unix socket to listen on (required)
+//!   --jobs <n>                  worker threads (default: available parallelism)
+//!   --cache-dir <p>             persistent experiment cache shared by all tenants
+//!   --queue-cap <n>             admission queue bound (default 64); a full
+//!                               queue answers queue_full immediately
+//!   --outbox-cap <n>            per-connection output buffer (default 256);
+//!                               chatter beyond it is dropped with a count,
+//!                               results never are
+//!   --quarantine-threshold <n>  consecutive failures before a tenant is
+//!                               quarantined (default 3; 0 disables)
+//!   --quarantine-cooldown <n>   quarantine length in admission seqs (default 16)
+//!   --max-heap-mb <n>           reject requests over this heap label (0 = off)
+//!   --step-budget-cap <n>       clamp per-request step budgets (0 = off)
+//!   --deadline-virtual-ms <n>   fail results over this simulated time (0 = off)
+//!   --retries <n>               per-cell retry budget (default 2)
+//!   --report-json <p>           write the final RunReport JSON here on shutdown
+//!   --metrics-out <p>           write the final Prometheus dump here on shutdown
+//!   --verbose                   narrate admissions/results on stderr
+//! ```
+//!
+//! Protocol: one JSON object per line, both directions — see DESIGN.md §13
+//! and the README's "Serving mode" walkthrough. SIGTERM (or a `shutdown`
+//! request) drains gracefully: queued cells finish, every in-flight
+//! response is delivered, final artifacts are flushed, exit code 0.
+
+use std::process::ExitCode;
+
+#[cfg(unix)]
+fn run() -> ExitCode {
+    use std::path::PathBuf;
+    use vmprobe::serve::{serve, ServeConfig};
+
+    fn fail(msg: &str) -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::FAILURE
+    }
+
+    let mut config = ServeConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--help" || arg == "-h" {
+            eprintln!(
+                "usage: vmprobe-serve --socket <path> [--jobs <n>] [--cache-dir <p>]\n\
+                 \x20      [--queue-cap <n>] [--outbox-cap <n>] [--quarantine-threshold <n>]\n\
+                 \x20      [--quarantine-cooldown <n>] [--max-heap-mb <n>] [--step-budget-cap <n>]\n\
+                 \x20      [--deadline-virtual-ms <n>] [--retries <n>] [--report-json <p>]\n\
+                 \x20      [--metrics-out <p>] [--verbose]"
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(flag) = arg.strip_prefix("--") else {
+            return fail(&format!("unexpected positional argument '{arg}'"));
+        };
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+            None => (flag.to_owned(), None),
+        };
+        if name == "verbose" {
+            if inline.is_some() {
+                return fail("--verbose takes no value");
+            }
+            config.verbose = true;
+            continue;
+        }
+        let Some(value) = inline.or_else(|| args.next()) else {
+            return fail(&format!("--{name} needs a value"));
+        };
+        macro_rules! num {
+            ($ty:ty) => {
+                match value.parse::<$ty>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return fail(&format!(
+                            "--{name} expects a non-negative integer, got '{value}'"
+                        ))
+                    }
+                }
+            };
+        }
+        match name.as_str() {
+            "socket" => socket = Some(PathBuf::from(value)),
+            "cache-dir" => config.cache_dir = Some(PathBuf::from(value)),
+            "report-json" => config.report_json = Some(PathBuf::from(value)),
+            "metrics-out" => config.metrics_out = Some(PathBuf::from(value)),
+            "jobs" => {
+                let v = num!(usize);
+                if v == 0 {
+                    return fail("--jobs expects a positive integer");
+                }
+                config.jobs = v;
+            }
+            "queue-cap" => {
+                let v = num!(usize);
+                if v == 0 {
+                    return fail("--queue-cap expects a positive integer");
+                }
+                config.queue_cap = v;
+            }
+            "outbox-cap" => {
+                let v = num!(usize);
+                if v == 0 {
+                    return fail("--outbox-cap expects a positive integer");
+                }
+                config.outbox_cap = v;
+            }
+            "quarantine-threshold" => config.quarantine_threshold = num!(u32),
+            "quarantine-cooldown" => config.quarantine_cooldown = num!(u64),
+            "max-heap-mb" => config.envelope.max_heap_mb = num!(u32),
+            "step-budget-cap" => config.envelope.step_budget_cap = num!(u64),
+            "deadline-virtual-ms" => config.envelope.deadline_virtual_ms = num!(u64),
+            "retries" => config.retries = num!(u32),
+            other => return fail(&format!("unknown flag --{other}")),
+        }
+    }
+    let Some(socket) = socket else {
+        return fail("--socket is required (run with --help for usage)");
+    };
+    config.socket = socket;
+    let envelope_is_default = config.envelope.max_heap_mb == 0
+        && config.envelope.step_budget_cap == 0
+        && config.envelope.deadline_virtual_ms == 0;
+    if config.verbose && !envelope_is_default {
+        eprintln!(
+            "vmprobe-serve: envelope active (heap cap {} MB, step cap {}, deadline {} virtual ms)",
+            config.envelope.max_heap_mb,
+            config.envelope.step_budget_cap,
+            config.envelope.deadline_virtual_ms
+        );
+    }
+    match serve(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+#[cfg(not(unix))]
+fn run() -> ExitCode {
+    eprintln!("error: vmprobe-serve requires Unix domain sockets");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    run()
+}

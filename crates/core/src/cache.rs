@@ -172,6 +172,13 @@ impl MemLayer {
     }
 }
 
+/// Process-wide temp-file sequence. Shared across *every*
+/// [`ExperimentCache`] instance, because the serving daemon (and tests)
+/// may open several handles onto the same directory: with a per-instance
+/// counter, two handles in one process would both write `.tmp-<pid>-0`
+/// and one handle's rename could publish the other's half-written bytes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Disk-backed, content-addressed store for finished experiment cells.
 ///
 /// Layered *under* the in-process memo by the runner: the memo still
@@ -184,7 +191,6 @@ pub struct ExperimentCache {
     fingerprint: String,
     mem: Mutex<MemLayer>,
     stats: CacheStats,
-    tmp_seq: AtomicU64,
 }
 
 impl ExperimentCache {
@@ -206,7 +212,6 @@ impl ExperimentCache {
                 ..MemLayer::default()
             }),
             stats: CacheStats::default(),
-            tmp_seq: AtomicU64::new(0),
         })
     }
 
@@ -281,13 +286,19 @@ impl ExperimentCache {
     /// unique temp file, then rename). I/O failure is swallowed — the
     /// sweep's results are already in memory and must not be lost to a
     /// full disk.
+    ///
+    /// Safe under a *shared* cache directory: the temp name is unique per
+    /// (process, process-wide sequence), and `rename` atomically replaces
+    /// any existing entry, so two threads — or two processes — storing
+    /// the same key concurrently both succeed and readers only ever see
+    /// a complete entry (one of the two, whole).
     pub fn store(&self, key: &str, summary: &Arc<RunSummary>) {
         let text = render_entry(key, &self.fingerprint, summary);
         let path = self.entry_path(key);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let ok = fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_ok();
         if ok {
@@ -1069,6 +1080,53 @@ mod tests {
         assert_eq!(cache.stats().evictions(), 1);
         // Evicted entries still hit from disk.
         assert!(matches!(cache.lookup("k1"), CacheLookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_of_the_same_key_are_benign() {
+        // The daemon shares one cache directory across tenants, each with
+        // its own handle. Two threads hammering the same key through two
+        // handles must never produce a torn entry, and a third handle
+        // probing throughout must only ever see Miss (nothing published
+        // yet) or a valid Hit — never Corrupt.
+        let dir = test_dir("shared");
+        let a = ExperimentCache::open(&dir).unwrap();
+        let b = ExperimentCache::open(&dir).unwrap();
+        // Reader bypasses both writers' in-memory layers: fresh handle per
+        // probe would be slow, one handle with capacity 0 reads from disk.
+        let reader = ExperimentCache::open(&dir).unwrap().with_mem_capacity(0);
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        std::thread::scope(|scope| {
+            for cache in [&a, &b] {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        cache.store(&key, &s);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    match reader.lookup(&key) {
+                        CacheLookup::Hit(hit) => assert_bit_identical(&s, &hit),
+                        CacheLookup::Miss => {}
+                        CacheLookup::Corrupt => panic!("reader saw a torn entry"),
+                    }
+                }
+            });
+        });
+        assert_eq!(a.stats().stores() + b.stats().stores(), 100);
+        // After the dust settles the entry is valid on disk.
+        let cold = ExperimentCache::open(&dir).unwrap();
+        assert!(matches!(cold.lookup(&key), CacheLookup::Hit(_)));
+        // No temp files were leaked by the race.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -238,6 +238,15 @@ pub enum ExperimentError {
         /// Rendered form of the last underlying error.
         last_error: String,
     },
+    /// The run panicked and the runner contained it (serving mode): the
+    /// panic was caught on the worker and converted to this typed error
+    /// instead of aborting the batch or killing the worker thread.
+    Panicked {
+        /// The panicking configuration.
+        config: Box<ExperimentConfig>,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -255,6 +264,9 @@ impl fmt::Display for ExperimentError {
                 f,
                 "experiment {config} quarantined after {attempts} attempts (last error: {last_error})"
             ),
+            ExperimentError::Panicked { config, message } => {
+                write!(f, "experiment {config} panicked: {message}")
+            }
         }
     }
 }
@@ -263,7 +275,9 @@ impl Error for ExperimentError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExperimentError::Vm { source, .. } => Some(source),
-            ExperimentError::UnknownBenchmark(_) | ExperimentError::Quarantined { .. } => None,
+            ExperimentError::UnknownBenchmark(_)
+            | ExperimentError::Quarantined { .. }
+            | ExperimentError::Panicked { .. } => None,
         }
     }
 }

@@ -43,6 +43,8 @@ pub mod figures;
 pub mod json;
 mod runner;
 mod scale;
+#[cfg(unix)]
+pub mod serve;
 pub mod sweep;
 mod table;
 

@@ -251,6 +251,7 @@ pub struct SupervisedRunner {
     report: RunReport,
     seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
+    contain_panics: bool,
     telemetry: Telemetry,
     cache: Option<Arc<ExperimentCache>>,
 }
@@ -358,6 +359,19 @@ impl SupervisedRunner {
         self
     }
 
+    /// Catch panics from individual cell runs and convert them into
+    /// [`ExperimentError::Panicked`], which then flows through the normal
+    /// retry/quarantine machinery instead of aborting the whole batch.
+    ///
+    /// Off by default: batch sweeps *want* a panicking cell to abort the
+    /// figure loudly. The serving daemon turns this on so one tenant's
+    /// pathological request can never take down the worker pool or the
+    /// other tenants' in-flight batches.
+    pub fn contain_panics(mut self, on: bool) -> Self {
+        self.contain_panics = on;
+        self
+    }
+
     /// Force every configuration to the given input scale. A test/CI knob:
     /// the determinism suite sweeps the full figure grids at `Reduced`
     /// scale to keep wall-clock sane without shrinking the grid shape.
@@ -389,8 +403,13 @@ impl SupervisedRunner {
         c
     }
 
-    fn cache_key(&self, config: &ExperimentConfig) -> String {
-        let plan = self.effective_plan(&config.benchmark);
+    /// Memo/cache key for a configuration under a specific master plan:
+    /// the config key alone when the plan injects nothing, else the config
+    /// key suffixed with the canonical plan spec. Per-request plans (the
+    /// serving daemon) and runner-level plans share keys whenever the
+    /// resulting master plan is identical, so tenants hit each other's
+    /// cache entries exactly when their requests are equivalent.
+    fn key_for(config: &ExperimentConfig, plan: FaultPlan) -> String {
         if plan.is_none() {
             config.key()
         } else {
@@ -425,12 +444,31 @@ impl SupervisedRunner {
         &mut self,
         configs: &[ExperimentConfig],
     ) -> Vec<Result<Arc<RunSummary>, ExperimentError>> {
-        let cells: Vec<(ExperimentConfig, String)> = configs
+        let batch: Vec<(ExperimentConfig, Option<FaultPlan>)> =
+            configs.iter().map(|c| (c.clone(), None)).collect();
+        self.run_batch_with_plans(&batch)
+    }
+
+    /// [`SupervisedRunner::run_batch`] with an explicit master fault plan
+    /// per cell: `Some(plan)` replaces the runner-level default/override
+    /// resolution for that cell only (per-cell seed derivation still
+    /// applies), `None` behaves exactly like `run_batch`.
+    ///
+    /// This is the serving daemon's entry point — each tenant request may
+    /// carry its own fault plan, at a finer granularity than the runner's
+    /// per-benchmark overrides can express.
+    pub fn run_batch_with_plans(
+        &mut self,
+        batch: &[(ExperimentConfig, Option<FaultPlan>)],
+    ) -> Vec<Result<Arc<RunSummary>, ExperimentError>> {
+        let cells: Vec<(ExperimentConfig, FaultPlan, String)> = batch
             .iter()
-            .map(|c| {
+            .map(|(c, plan_override)| {
                 let effective = self.effective_config(c);
-                let key = self.cache_key(&effective);
-                (effective, key)
+                let master =
+                    plan_override.unwrap_or_else(|| self.effective_plan(&effective.benchmark));
+                let key = Self::key_for(&effective, master);
+                (effective, master, key)
             })
             .collect();
 
@@ -438,7 +476,7 @@ impl SupervisedRunner {
         // are dispatched to the pool.
         let mut first: HashMap<&str, usize> = HashMap::new();
         let mut tasks: Vec<usize> = Vec::new();
-        for (i, (_, key)) in cells.iter().enumerate() {
+        for (i, (_, _, key)) in cells.iter().enumerate() {
             if !first.contains_key(key.as_str()) {
                 first.insert(key, i);
                 if self.memo.peek(key).is_none() {
@@ -451,24 +489,21 @@ impl SupervisedRunner {
         let _batch_span = self.telemetry.host_span("runner", "batch");
         let pool = WorkStealingPool::new(self.jobs).with_telemetry(self.telemetry.clone());
         let memo = &self.memo;
-        let overrides = &self.overrides;
-        let default_faults = self.default_faults;
         let max_retries = self.max_retries;
         let verbose = self.verbose;
+        let contain = self.contain_panics;
         let telemetry = self.telemetry.clone();
         let cache = self.cache.clone();
         // A panicking cell aborts the batch with the cell's key in the
-        // message rather than poisoning pool/memo locks (`SweepError`).
+        // message rather than poisoning pool/memo locks (`SweepError`) —
+        // unless `contain_panics` is on, in which case `execute_cell`
+        // catches it first and the pool never sees a panic.
         let executed: Vec<(usize, Option<ExecutionRecord>)> = pool
             .try_run(
                 tasks.iter().map(|&i| (i, &cells[i])).collect(),
-                |_, item| item.1 .1.clone(),
-                |_, (i, (config, key))| {
-                    let master = overrides
-                        .get(&config.benchmark)
-                        .copied()
-                        .unwrap_or(default_faults);
-                    let plan = config.derive_plan(master);
+                |_, item| item.1 .2.clone(),
+                |_, (i, (config, master, key))| {
+                    let plan = config.derive_plan(*master);
                     let mut record = None;
                     let (_, _) = memo.get_or_compute(key, || {
                         // Probe the persistent layer first: exactly one
@@ -497,7 +532,7 @@ impl SupervisedRunner {
                             }
                         }
                         let (result, mut rec) =
-                            execute_cell(config, plan, max_retries, verbose, &telemetry);
+                            execute_cell(config, plan, max_retries, verbose, contain, &telemetry);
                         rec.cache_probe = probe;
                         if let (Some(cache), Ok(summary)) = (&cache, &result) {
                             cache.store(key, summary);
@@ -518,7 +553,7 @@ impl SupervisedRunner {
 
         // Merge in submission order — the determinism contract.
         let mut out = Vec::with_capacity(cells.len());
-        for (i, (config, key)) in cells.iter().enumerate() {
+        for (i, (config, _, key)) in cells.iter().enumerate() {
             let first_here = first.get(key.as_str()) == Some(&i);
             let rec = if first_here { records.remove(&i) } else { None };
             // This occurrence resolved the cell in this batch — by
@@ -670,13 +705,28 @@ impl SupervisedRunner {
     }
 }
 
+/// Render a panic payload: the string it carried, or a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
 /// The per-cell retry loop: runs on a pool worker, touches no shared
 /// state, and reports everything it did through the returned record.
+/// With `contain` set, a panicking run is caught and mapped to
+/// [`ExperimentError::Panicked`], entering the same retry/quarantine path
+/// as any other failure.
 fn execute_cell(
     config: &ExperimentConfig,
     plan: FaultPlan,
     max_retries: u32,
     verbose: bool,
+    contain: bool,
     telemetry: &Telemetry,
 ) -> (CellResult, ExecutionRecord) {
     let started = std::time::Instant::now();
@@ -687,7 +737,23 @@ fn execute_cell(
         if verbose {
             telemetry.log(&format!("running {config} (attempt {attempts})"));
         }
-        match config.run_with_faults(plan) {
+        let outcome = if contain {
+            // AssertUnwindSafe: the closure only touches `config` and the
+            // Copy `plan`; `run_with_faults` builds all VM state afresh, so
+            // no shared state can be observed half-mutated after a panic.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                config.run_with_faults(plan)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ExperimentError::Panicked {
+                    config: Box::new(config.clone()),
+                    message: panic_message(payload.as_ref()),
+                })
+            })
+        } else {
+            config.run_with_faults(plan)
+        };
+        match outcome {
             Ok(summary) => {
                 rec.success_faults = Some(summary.report.faults);
                 rec.host_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -862,6 +928,68 @@ mod tests {
         assert_eq!(r.report().attempts_failed, 2, "1 + 1 retry, once");
         assert_eq!(r.report().quarantine_hits, 1);
         assert_eq!(r.report().quarantined.len(), 1);
+    }
+
+    #[test]
+    fn per_request_plans_override_runner_policy() {
+        let oom = FaultPlan::parse("oom@1").unwrap();
+        let mut r = Runner::new().retries(0).jobs(2);
+        let cfg = quick("moldyn");
+        let results = r.run_batch_with_plans(&[(cfg.clone(), Some(oom)), (cfg.clone(), None)]);
+        // Same benchmark, different plans: distinct cells, the poisoned
+        // one fails while the clean one succeeds.
+        assert!(matches!(results[0], Err(ExperimentError::Vm { .. })));
+        assert!(results[1].is_ok());
+        assert_eq!(r.report().quarantined.len(), 1);
+        assert_eq!(r.report().runs_ok, 1);
+
+        // An explicit plan equal to the runner's resolution shares the
+        // memoized cell (no re-execution).
+        let executed = r.runs_executed();
+        let again = r.run_batch_with_plans(&[(cfg.clone(), Some(FaultPlan::none()))]);
+        assert!(Arc::ptr_eq(
+            again[0].as_ref().unwrap(),
+            results[1].as_ref().unwrap()
+        ));
+        assert_eq!(r.runs_executed(), executed);
+    }
+
+    #[test]
+    fn contained_batch_preserves_normal_results() {
+        // With containment on and nothing panicking, results are the same
+        // object graph a plain batch produces (same memo, same report).
+        let mut plain = Runner::new();
+        let mut contained = Runner::new().contain_panics(true);
+        let cfg = quick("search");
+        let a = plain.run(&cfg).expect("runs");
+        let b = contained.run(&cfg).expect("runs under containment");
+        assert_eq!(a.report.cpu_energy.joules(), b.report.cpu_energy.joules());
+        assert_eq!(plain.report().runs_ok, contained.report().runs_ok);
+    }
+
+    #[test]
+    fn panic_payloads_render_to_strings() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s.as_ref()), "boom");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(owned.as_ref()), "kaboom");
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(opaque.as_ref()), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn contained_panic_is_typed_and_quarantines() {
+        // Drive a real panic through execute_cell by catching one
+        // ourselves: the public surface is exercised end-to-end in the
+        // serve tests; here we pin the containment mapping itself.
+        let err = std::panic::catch_unwind(|| panic!("worker died"))
+            .map_err(|p| ExperimentError::Panicked {
+                config: Box::new(quick("moldyn")),
+                message: panic_message(p.as_ref()),
+            })
+            .expect_err("panicked");
+        assert!(err.to_string().contains("panicked: worker died"));
+        assert!(matches!(err, ExperimentError::Panicked { .. }));
     }
 
     #[test]

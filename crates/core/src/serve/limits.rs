@@ -1,0 +1,146 @@
+//! The per-request resource envelope.
+//!
+//! Modeled on process-isolation supervisors: the operator declares how
+//! much any single tenant request may cost, the daemon enforces it — at
+//! admission where possible, post-hoc on the deterministic virtual clock
+//! where not — and everything over budget becomes a typed error line, not
+//! worker death.
+
+use vmprobe_power::FaultPlan;
+
+use super::protocol::ErrorCode;
+use crate::{ExperimentConfig, RunSummary};
+
+/// Operator-configured resource limits applied to every request.
+///
+/// All limits default to 0, meaning *unlimited*: out of the box the daemon
+/// computes exactly what batch mode would, with identical cache keys. Each
+/// cap is opt-in because the step-budget clamp changes the effective fault
+/// plan (and therefore the cache key) of the requests it touches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Envelope {
+    /// Reject run requests whose heap label exceeds this many MB.
+    pub max_heap_mb: u32,
+    /// Clamp every request's fault-plan step budget to at most this many
+    /// bytecodes (see [`FaultPlan::cap_step_budget`]); runs over budget
+    /// fail with a typed `StepBudgetExhausted` VM fault.
+    pub step_budget_cap: u64,
+    /// Fail results whose *simulated* duration exceeds this many virtual
+    /// milliseconds. Checked post-hoc — the run completes, then the
+    /// deterministic virtual clock is compared — so verdicts are
+    /// bit-identical regardless of host load or thread count.
+    pub deadline_virtual_ms: u64,
+}
+
+impl Envelope {
+    /// Admission-time check. `Err` carries the rejection line's code.
+    pub fn admit(&self, config: &ExperimentConfig) -> Result<(), (ErrorCode, String)> {
+        if self.max_heap_mb > 0 && config.heap_mb > self.max_heap_mb {
+            return Err((
+                ErrorCode::LimitExceeded,
+                format!(
+                    "heap_mb {} exceeds the daemon's cap of {} MB",
+                    config.heap_mb, self.max_heap_mb
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Apply execution-time caps to the request's fault plan.
+    ///
+    /// With no step-budget cap the plan passes through untouched
+    /// (`None` stays `None`, preserving batch-identical cache keys).
+    pub fn shape_plan(&self, plan: Option<FaultPlan>) -> Option<FaultPlan> {
+        if self.step_budget_cap == 0 {
+            return plan;
+        }
+        Some(
+            plan.unwrap_or_else(FaultPlan::none)
+                .cap_step_budget(self.step_budget_cap),
+        )
+    }
+
+    /// Post-hoc deadline verdict for a completed run. `Err` renders as a
+    /// `deadline` error line.
+    pub fn check_deadline(&self, summary: &RunSummary) -> Result<(), (ErrorCode, String)> {
+        if self.deadline_virtual_ms == 0 {
+            return Ok(());
+        }
+        let virtual_ms = summary.duration_s() * 1e3;
+        if virtual_ms > self.deadline_virtual_ms as f64 {
+            return Err((
+                ErrorCode::Deadline,
+                format!(
+                    "simulated {virtual_ms:.1} ms exceeds the {} ms virtual deadline",
+                    self.deadline_virtual_ms
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprobe_heap::CollectorKind;
+    use vmprobe_workloads::InputScale;
+
+    #[test]
+    fn unlimited_envelope_is_a_no_op() {
+        let env = Envelope::default();
+        let cfg = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 4096);
+        assert!(env.admit(&cfg).is_ok());
+        assert_eq!(env.shape_plan(None), None);
+        let plan = FaultPlan::parse("budget=7").unwrap();
+        assert_eq!(env.shape_plan(Some(plan)), Some(plan));
+    }
+
+    #[test]
+    fn heap_cap_rejects_at_admission() {
+        let env = Envelope {
+            max_heap_mb: 64,
+            ..Envelope::default()
+        };
+        let small = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 64);
+        let big = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 65);
+        assert!(env.admit(&small).is_ok());
+        let (code, msg) = env.admit(&big).unwrap_err();
+        assert_eq!(code, ErrorCode::LimitExceeded);
+        assert!(msg.contains("65"));
+    }
+
+    #[test]
+    fn step_budget_cap_shapes_plans() {
+        let env = Envelope {
+            step_budget_cap: 100,
+            ..Envelope::default()
+        };
+        assert_eq!(env.shape_plan(None).unwrap().step_budget, Some(100));
+        let tight = FaultPlan::parse("budget=7").unwrap();
+        assert_eq!(env.shape_plan(Some(tight)).unwrap().step_budget, Some(7));
+        let loose = FaultPlan::parse("budget=900").unwrap();
+        assert_eq!(env.shape_plan(Some(loose)).unwrap().step_budget, Some(100));
+    }
+
+    #[test]
+    fn virtual_deadline_is_post_hoc_and_deterministic() {
+        let mut cfg = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        cfg.scale = InputScale::Reduced;
+        let summary = cfg.run().expect("runs");
+        let lenient = Envelope {
+            deadline_virtual_ms: u64::MAX,
+            ..Envelope::default()
+        };
+        assert!(lenient.check_deadline(&summary).is_ok());
+        let strict = Envelope {
+            deadline_virtual_ms: 1,
+            ..Envelope::default()
+        };
+        // The reduced run simulates well over a virtual millisecond.
+        let (code, _) = strict.check_deadline(&summary).unwrap_err();
+        assert_eq!(code, ErrorCode::Deadline);
+        assert!(Envelope::default().check_deadline(&summary).is_ok());
+    }
+}

@@ -1,0 +1,641 @@
+//! Wire protocol for the serving daemon: line-delimited JSON.
+//!
+//! Every request and every response is exactly one `\n`-terminated JSON
+//! object. The build is fully offline, so this module carries both sides
+//! by hand: a minimal recursive-descent JSON *parser* (the crate's
+//! [`JsonObj`] emitter only writes) and the typed request/response/error
+//! vocabulary documented in `DESIGN.md` §13.
+//!
+//! The parser accepts strictly what the daemon needs — objects, arrays,
+//! strings with the standard escapes, finite numbers, booleans and null —
+//! and rejects everything else with a message suitable for a `bad_json`
+//! error line. Nesting is capped so a hostile request cannot overflow the
+//! reader thread's stack.
+
+use vmprobe_heap::CollectorKind;
+use vmprobe_platform::PlatformKind;
+use vmprobe_power::FaultPlan;
+use vmprobe_workloads::InputScale;
+
+use crate::json::JsonObj;
+use crate::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
+
+/// Maximum JSON nesting depth a request may use.
+const MAX_DEPTH: usize = 32;
+/// Maximum request line length in bytes (longer lines are `bad_request`).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys keep the last value).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse one complete JSON value; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (last occurrence wins, like serde_json).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired:
+                            // request fields are ASCII identifiers in
+                            // practice, and a typed error beats silent
+                            // mojibake.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("\\u{hex} is not a scalar value"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input arrived as &str, so
+                    // the byte stream is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err("raw control character in string".into());
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number '{text}'"));
+        }
+        Ok(JsonValue::Num(n))
+    }
+}
+
+/// The daemon's error taxonomy. Every refused or failed request renders to
+/// one error line carrying the stable `code` string below — clients branch
+/// on the code, never on the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    BadJson,
+    /// The request was valid JSON but not a valid request (unknown op,
+    /// missing or ill-typed field, oversized line, unknown benchmark…).
+    BadRequest,
+    /// The request exceeds the daemon's resource envelope (heap cap).
+    LimitExceeded,
+    /// The admission queue is full — retry later (HTTP 429 analogue).
+    QueueFull,
+    /// The tenant is under quarantine until its cooldown elapses.
+    Quarantined,
+    /// The experiment executed and failed with a typed VM fault.
+    VmFault,
+    /// The experiment completed but exceeded the envelope's virtual
+    /// deadline (checked post-hoc on the simulated clock).
+    Deadline,
+    /// The experiment panicked; the panic was contained on the worker.
+    Panic,
+    /// The daemon is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The stable wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::LimitExceeded => "limit_exceeded",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::VmFault => "vm_fault",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Panic => "panic",
+            ErrorCode::Draining => "draining",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run one experiment cell.
+    Run(RunRequest),
+    /// Report queue, tenant and quarantine state.
+    Status,
+    /// Return the Prometheus text dump.
+    Metrics,
+    /// Begin a graceful drain (same as SIGTERM).
+    Shutdown,
+}
+
+/// One tenant-submitted experiment request.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Client-chosen request id, echoed on every line about this request.
+    pub id: String,
+    /// Tenant name — the quarantine and fair-scheduling identity.
+    pub tenant: String,
+    /// The experiment to run.
+    pub config: ExperimentConfig,
+    /// Optional per-request fault plan (`faults` spec string).
+    pub plan: Option<FaultPlan>,
+}
+
+/// Parse one request line. Errors carry the taxonomy code to respond with.
+pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let v = JsonValue::parse(line).map_err(|e| (ErrorCode::BadJson, e))?;
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or((ErrorCode::BadRequest, "missing string field 'op'".into()))?;
+    match op {
+        "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => parse_run(&v).map(Request::Run),
+        other => Err((ErrorCode::BadRequest, format!("unknown op '{other}'"))),
+    }
+}
+
+fn parse_run(v: &JsonValue) -> Result<RunRequest, (ErrorCode, String)> {
+    let bad = |msg: String| (ErrorCode::BadRequest, msg);
+    let str_field = |key: &str| -> Result<Option<&str>, (ErrorCode, String)> {
+        match v.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(_) => Err(bad(format!("field '{key}' must be a string"))),
+        }
+    };
+    let id = str_field("id")?
+        .ok_or_else(|| bad("run request needs a string 'id'".into()))?
+        .to_owned();
+    let tenant = str_field("tenant")?
+        .ok_or_else(|| bad("run request needs a string 'tenant'".into()))?
+        .to_owned();
+    if tenant.is_empty() || id.is_empty() {
+        return Err(bad("'id' and 'tenant' must be non-empty".into()));
+    }
+    let benchmark = str_field("benchmark")?
+        .ok_or_else(|| bad("run request needs a string 'benchmark'".into()))?
+        .to_owned();
+
+    let vm = match str_field("collector")?.unwrap_or("gencopy") {
+        "gencopy" => VmChoice::Jikes(CollectorKind::GenCopy),
+        "semispace" => VmChoice::Jikes(CollectorKind::SemiSpace),
+        "marksweep" => VmChoice::Jikes(CollectorKind::MarkSweep),
+        "genms" => VmChoice::Jikes(CollectorKind::GenMs),
+        "kaffe" => VmChoice::Kaffe,
+        other => return Err(bad(format!("unknown collector '{other}'"))),
+    };
+    let heap_mb = match v.get("heap_mb") {
+        None => 64,
+        Some(n) => n
+            .as_u64()
+            .filter(|&h| h >= 1 && h <= u64::from(u32::MAX))
+            .ok_or_else(|| bad("'heap_mb' must be a positive integer".into()))?
+            as u32,
+    };
+    let platform = match str_field("platform")?.unwrap_or("p6") {
+        "p6" => PlatformKind::PentiumM,
+        "pxa255" => PlatformKind::Pxa255,
+        other => return Err(bad(format!("unknown platform '{other}'"))),
+    };
+    let scale = match str_field("scale")?.unwrap_or("full") {
+        "full" => InputScale::Full,
+        "s10" => InputScale::Reduced,
+        other => return Err(bad(format!("unknown scale '{other}'"))),
+    };
+
+    let mut plan = match str_field("faults")? {
+        None => None,
+        Some(spec) => {
+            Some(FaultPlan::parse(spec).map_err(|e| bad(format!("bad 'faults' spec: {e}")))?)
+        }
+    };
+    if let Some(seed) = v.get("seed") {
+        let seed = seed
+            .as_u64()
+            .ok_or_else(|| bad("'seed' must be an unsigned integer".into()))?;
+        plan = Some(plan.unwrap_or_else(FaultPlan::none).with_seed(seed));
+    }
+
+    Ok(RunRequest {
+        id,
+        tenant,
+        config: ExperimentConfig {
+            benchmark,
+            vm,
+            heap_mb,
+            platform,
+            scale,
+            trace_power: false,
+            record_spans: false,
+        },
+        plan,
+    })
+}
+
+/// Render an error response line (no trailing newline).
+pub fn error_line(id: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut o = JsonObj::new();
+    o.bool("ok", false).str("kind", "error");
+    if let Some(id) = id {
+        o.str("id", id);
+    }
+    o.str("code", code.as_str()).str("message", message);
+    o.finish()
+}
+
+/// Render the admission acknowledgement for a run request.
+pub fn accepted_line(id: &str, queue_depth: usize) -> String {
+    let mut o = JsonObj::new();
+    o.bool("ok", true)
+        .str("kind", "accepted")
+        .str("id", id)
+        .u64("queue_depth", queue_depth as u64);
+    o.finish()
+}
+
+/// Render a completed run as one result line.
+///
+/// This is **the** canonical result payload: the batch-mode soak baseline
+/// renders its locally computed [`RunSummary`] through this same function,
+/// and the acceptance test compares the daemon's bytes against it. Every
+/// field is a deterministic function of the summary.
+pub fn result_line(id: &str, summary: &RunSummary) -> String {
+    let r = &summary.report;
+    let mut o = JsonObj::new();
+    o.bool("ok", true).str("kind", "result").str("id", id);
+    o.schema_version()
+        .str("benchmark", &summary.config.benchmark)
+        .str("vm", &summary.config.vm.to_string())
+        .u64("heap_mb", u64::from(summary.config.heap_mb));
+    match summary.result_checksum {
+        Some(c) => o.raw("checksum", &c.to_string()),
+        None => o.raw("checksum", "null"),
+    };
+    o.f64("duration_s", summary.duration_s())
+        .f64("cpu_energy_j", r.cpu_energy.joules())
+        .f64("mem_energy_j", r.mem_energy.joules())
+        .f64("total_energy_j", r.total_energy.joules())
+        .f64("edp_js", summary.edp())
+        .u64("gc_collections", summary.gc.collections)
+        .u64("bytecodes", summary.vm.bytecodes)
+        .u64("allocations", summary.vm.allocations)
+        .u64("fault_samples_dropped", r.faults.samples_dropped)
+        .u64("fault_injected_oom", r.faults.injected_oom);
+    o.finish()
+}
+
+/// Map a runner error to its taxonomy code.
+pub fn code_for(err: &ExperimentError) -> ErrorCode {
+    match err {
+        ExperimentError::UnknownBenchmark(_) => ErrorCode::BadRequest,
+        ExperimentError::Vm { .. } => ErrorCode::VmFault,
+        ExperimentError::Quarantined { .. } => ErrorCode::Quarantined,
+        ExperimentError::Panicked { .. } => ErrorCode::Panic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = JsonValue::parse(r#"{"a":[1,-2.5,true,null],"b":{"c":"x\ny"}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2.5),
+                JsonValue::Bool(true),
+                JsonValue::Null,
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn round_trips_the_emitter() {
+        let mut o = JsonObj::new();
+        o.str("name", "mol\"dyn\\")
+            .u64("heap_mb", 32)
+            .bool("ok", true)
+            .f64("x", -1.5);
+        let text = o.finish();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("mol\"dyn\\"));
+        assert_eq!(v.get("heap_mb").unwrap().as_u64(), Some(32));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("x"), Some(&JsonValue::Num(-1.5)));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = JsonValue::parse(r#""\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "01a",
+            "\"\\x\"",
+            "{\"a\":1}x",
+            "nan",
+            "\"\u{1}\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Nesting bomb is cut off, not a stack overflow.
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(JsonValue::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parses_a_run_request_with_defaults() {
+        let req = parse_request(r#"{"op":"run","id":"r1","tenant":"alice","benchmark":"_209_db"}"#)
+            .unwrap();
+        let Request::Run(run) = req else {
+            panic!("expected run")
+        };
+        assert_eq!(run.id, "r1");
+        assert_eq!(run.tenant, "alice");
+        assert_eq!(run.config.heap_mb, 64);
+        assert_eq!(run.config.vm, VmChoice::Jikes(CollectorKind::GenCopy));
+        assert_eq!(run.config.scale, InputScale::Full);
+        assert!(run.plan.is_none());
+    }
+
+    #[test]
+    fn parses_faults_and_seed() {
+        let req = parse_request(
+            r#"{"op":"run","id":"r","tenant":"t","benchmark":"moldyn","collector":"semispace","heap_mb":32,"scale":"s10","faults":"oom@1","seed":9}"#,
+        )
+        .unwrap();
+        let Request::Run(run) = req else {
+            panic!("expected run")
+        };
+        let plan = run.plan.unwrap();
+        assert_eq!(plan.fail_alloc_at, Some(1));
+        assert_eq!(plan.seed, 9);
+        assert_eq!(run.config.scale, InputScale::Reduced);
+    }
+
+    #[test]
+    fn request_errors_carry_the_right_code() {
+        let cases = [
+            ("not json", ErrorCode::BadJson),
+            (r#"{"op":"fly"}"#, ErrorCode::BadRequest),
+            (r#"{"id":"x"}"#, ErrorCode::BadRequest),
+            (
+                r#"{"op":"run","id":"r","tenant":"t"}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"op":"run","id":"r","tenant":"t","benchmark":"m","heap_mb":0}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"op":"run","id":"r","tenant":"t","benchmark":"m","faults":"zap=1"}"#,
+                ErrorCode::BadRequest,
+            ),
+        ];
+        for (line, code) in cases {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(err.0, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_parseable_json() {
+        let e = error_line(Some("r1"), ErrorCode::QueueFull, "busy");
+        let v = JsonValue::parse(&e).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
+        let a = accepted_line("r1", 3);
+        let v = JsonValue::parse(&a).unwrap();
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn result_line_is_deterministic_for_a_summary() {
+        let mut cfg = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        cfg.scale = InputScale::Reduced;
+        let summary = cfg.run().expect("runs");
+        let a = result_line("id-1", &summary);
+        let b = result_line("id-1", &summary);
+        assert_eq!(a, b);
+        let v = JsonValue::parse(&a).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("result"));
+        assert_eq!(v.get("benchmark").unwrap().as_str(), Some("_209_db"));
+        assert!(v.get("total_energy_j").is_some());
+    }
+}

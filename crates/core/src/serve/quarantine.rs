@@ -1,0 +1,222 @@
+//! Per-tenant quarantine: negative caching at the *tenant* level.
+//!
+//! The supervised runner already quarantines individual configurations
+//! (negative memo entries). The daemon adds one level above it: a tenant
+//! whose requests keep failing is throttled as a whole, so a poisoned
+//! client cannot monopolize the worker pool by cycling through endless
+//! variations of a broken request.
+//!
+//! The state machine (per tenant):
+//!
+//! ```text
+//!           failure (streak < threshold)
+//!          ┌─────────────┐
+//!          ▼             │
+//!   ┌───────────┐ streak == threshold  ┌─────────────┐
+//!   │  Healthy  │─────────────────────▶│ Quarantined │
+//!   └───────────┘                      └─────────────┘
+//!          ▲        admission seq >= release_at            │
+//!          └───────────────────────────────────────────────┘
+//!                      (auto-release, streak reset)
+//! ```
+//!
+//! Time is measured in **admission sequence numbers**, not wall-clock:
+//! only run-request admissions advance the clock, so cooldowns elapse
+//! deterministically — the acceptance test can count requests instead of
+//! sleeping, and a replayed request stream reproduces the exact same
+//! admission decisions.
+
+use std::collections::BTreeMap;
+
+/// Verdict for one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// The tenant is healthy (or its cooldown just elapsed): admit.
+    Admit {
+        /// The tenant left quarantine on this very check.
+        released: bool,
+    },
+    /// The tenant is quarantined until the given admission sequence.
+    Refused {
+        /// First admission sequence at which the tenant will be released.
+        release_at: u64,
+    },
+}
+
+/// One tenant's standing with the daemon.
+#[derive(Debug, Clone, Copy, Default)]
+struct Standing {
+    /// Consecutive failed results (successes reset it).
+    failure_streak: u32,
+    /// `Some(seq)` while quarantined: released at admission seq `seq`.
+    release_at: Option<u64>,
+}
+
+/// A row of the `/status` quarantine table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStanding {
+    /// Tenant name.
+    pub tenant: String,
+    /// Current consecutive-failure streak.
+    pub failure_streak: u32,
+    /// Release sequence while quarantined.
+    pub release_at: Option<u64>,
+}
+
+/// The per-tenant failure ledger and quarantine clock (see module docs).
+/// The `Default` book never quarantines (threshold 0).
+#[derive(Debug, Default)]
+pub struct QuarantineBook {
+    /// Consecutive failures before a tenant is quarantined (0 = never).
+    threshold: u32,
+    /// Admission sequences a quarantine lasts.
+    cooldown: u64,
+    tenants: BTreeMap<String, Standing>,
+}
+
+impl QuarantineBook {
+    /// A book that quarantines after `threshold` consecutive failures for
+    /// `cooldown` admission sequences. `threshold == 0` disables
+    /// quarantining entirely.
+    pub fn new(threshold: u32, cooldown: u64) -> Self {
+        Self {
+            threshold,
+            cooldown,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Gate one admission attempt by `tenant` at admission seq `now`.
+    /// Auto-releases an elapsed quarantine (resetting the streak).
+    pub fn gate(&mut self, tenant: &str, now: u64) -> Gate {
+        let Some(standing) = self.tenants.get_mut(tenant) else {
+            return Gate::Admit { released: false };
+        };
+        match standing.release_at {
+            Some(release_at) if now < release_at => Gate::Refused { release_at },
+            Some(_) => {
+                *standing = Standing::default();
+                Gate::Admit { released: true }
+            }
+            None => Gate::Admit { released: false },
+        }
+    }
+
+    /// Record one result for `tenant` at admission seq `now`. Returns the
+    /// release sequence when this failure *enters* quarantine.
+    pub fn record(&mut self, tenant: &str, ok: bool, now: u64) -> Option<u64> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let standing = self.tenants.entry(tenant.to_owned()).or_default();
+        if ok {
+            standing.failure_streak = 0;
+            return None;
+        }
+        if standing.release_at.is_some() {
+            // Results for cells admitted before the quarantine began do
+            // not extend it.
+            return None;
+        }
+        standing.failure_streak += 1;
+        if standing.failure_streak >= self.threshold {
+            let release_at = now + self.cooldown;
+            standing.release_at = Some(release_at);
+            return Some(release_at);
+        }
+        None
+    }
+
+    /// Every tenant with a non-default standing, for `/status`.
+    pub fn snapshot(&self) -> Vec<TenantStanding> {
+        self.tenants
+            .iter()
+            .filter(|(_, s)| s.failure_streak > 0 || s.release_at.is_some())
+            .map(|(tenant, s)| TenantStanding {
+                tenant: tenant.clone(),
+                failure_streak: s.failure_streak,
+                release_at: s.release_at,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_tenants_always_admit() {
+        let mut book = QuarantineBook::new(2, 4);
+        assert_eq!(book.gate("a", 0), Gate::Admit { released: false });
+        assert_eq!(book.record("a", true, 1), None);
+        assert_eq!(book.gate("a", 2), Gate::Admit { released: false });
+        assert!(book.snapshot().is_empty());
+    }
+
+    #[test]
+    fn exact_threshold_enters_quarantine() {
+        let mut book = QuarantineBook::new(2, 4);
+        assert_eq!(book.record("p", false, 1), None, "one failure is free");
+        assert_eq!(book.record("p", false, 2), Some(6), "second hits threshold");
+        assert_eq!(book.gate("p", 3), Gate::Refused { release_at: 6 });
+        assert_eq!(book.gate("p", 5), Gate::Refused { release_at: 6 });
+        // Other tenants are unaffected.
+        assert_eq!(book.gate("q", 5), Gate::Admit { released: false });
+    }
+
+    #[test]
+    fn cooldown_elapses_on_the_admission_clock() {
+        let mut book = QuarantineBook::new(1, 3);
+        assert_eq!(book.record("p", false, 10), Some(13));
+        assert_eq!(book.gate("p", 12), Gate::Refused { release_at: 13 });
+        assert_eq!(book.gate("p", 13), Gate::Admit { released: true });
+        // Released clean: the streak restarted.
+        assert_eq!(book.record("p", false, 14), Some(17));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut book = QuarantineBook::new(3, 4);
+        assert_eq!(book.record("t", false, 1), None);
+        assert_eq!(book.record("t", false, 2), None);
+        assert_eq!(book.record("t", true, 3), None);
+        assert_eq!(book.record("t", false, 4), None, "streak restarted");
+        assert_eq!(book.record("t", false, 5), None);
+        assert_eq!(book.record("t", false, 6), Some(10));
+    }
+
+    #[test]
+    fn straggler_failures_do_not_extend_quarantine() {
+        let mut book = QuarantineBook::new(1, 5);
+        assert_eq!(book.record("p", false, 3), Some(8));
+        // A cell admitted before the quarantine finishes late and fails:
+        // the release sequence must not move.
+        assert_eq!(book.record("p", false, 4), None);
+        assert_eq!(book.gate("p", 8), Gate::Admit { released: true });
+    }
+
+    #[test]
+    fn threshold_zero_disables_quarantine() {
+        let mut book = QuarantineBook::new(0, 4);
+        for seq in 0..20 {
+            assert_eq!(book.record("t", false, seq), None);
+            assert_eq!(book.gate("t", seq), Gate::Admit { released: false });
+        }
+    }
+
+    #[test]
+    fn snapshot_lists_standings() {
+        let mut book = QuarantineBook::new(2, 4);
+        book.record("a", false, 1);
+        book.record("b", false, 1);
+        book.record("b", false, 2);
+        let snap = book.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].tenant, "a");
+        assert_eq!(snap[0].failure_streak, 1);
+        assert_eq!(snap[0].release_at, None);
+        assert_eq!(snap[1].tenant, "b");
+        assert_eq!(snap[1].release_at, Some(6));
+    }
+}

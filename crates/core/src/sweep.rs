@@ -46,7 +46,7 @@ pub fn default_jobs() -> usize {
 /// That failure is surfaced separately (and with its cell key) as
 /// [`SweepError::WorkerPanicked`]; recovering here lets the remaining
 /// workers drain cleanly instead of cascading secondary panics.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 

@@ -324,6 +324,34 @@ fn resume_without_cache_dir_is_an_error() {
 }
 
 #[test]
+fn no_cache_conflicts_with_resume() {
+    // Fail fast, before any work: the conflict is nonsense regardless of
+    // whether --cache-dir is present.
+    let out = bin()
+        .args(["moldyn", "--no-cache", "--resume", "--cache-dir", "x"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--no-cache cannot be combined with --resume"),
+        "stderr: {err}"
+    );
+    assert!(out.stdout.is_empty(), "no work before the conflict check");
+
+    let out = bin()
+        .args(["moldyn", "--resume", "--no-cache"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--no-cache cannot be combined with --resume"),
+        "order-independent: {err}"
+    );
+}
+
+#[test]
 fn cache_dir_conflicts_with_telemetry_overhead() {
     let out = bin()
         .args(["moldyn", "--cache-dir", "x", "--telemetry-overhead"])

@@ -82,6 +82,18 @@ impl FaultPlan {
         self
     }
 
+    /// Clamp the plan's per-run step budget to at most `cap` bytecodes
+    /// (`cap == 0` leaves the plan untouched). A plan without a budget
+    /// gains one; a plan with a smaller budget keeps its own. This is the
+    /// serving daemon's resource envelope: a tenant cannot request more
+    /// execution than the operator allows.
+    pub fn cap_step_budget(mut self, cap: u64) -> Self {
+        if cap > 0 {
+            self.step_budget = Some(self.step_budget.map_or(cap, |b| b.min(cap)));
+        }
+        self
+    }
+
     /// Parse a comma-separated spec, e.g.
     /// `drop=0.05,dup=0.01,noise=0.02,wrap32,glitch=0.001,drift=1e-4,oom@1000,budget=5000000,seed=42`.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
@@ -192,6 +204,19 @@ impl fmt::Display for FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_budget_cap_clamps_never_raises() {
+        assert_eq!(FaultPlan::none().cap_step_budget(0).step_budget, None);
+        assert_eq!(
+            FaultPlan::none().cap_step_budget(100).step_budget,
+            Some(100)
+        );
+        let small = FaultPlan::parse("budget=50").unwrap();
+        assert_eq!(small.cap_step_budget(100).step_budget, Some(50));
+        let big = FaultPlan::parse("budget=500").unwrap();
+        assert_eq!(big.cap_step_budget(100).step_budget, Some(100));
+    }
 
     #[test]
     fn parses_a_full_spec() {

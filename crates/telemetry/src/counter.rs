@@ -47,11 +47,30 @@ pub enum CounterId {
     CacheCorrupt,
     /// Entries written to the persistent cache.
     CacheStores,
+    /// Experiment requests admitted by the serving daemon.
+    ServeRequests,
+    /// Results (success or per-request error) delivered by the daemon.
+    ServeResults,
+    /// Requests refused because the admission queue was full (429-style).
+    ServeRejectedQueueFull,
+    /// Requests refused because the tenant was under quarantine.
+    ServeRejectedQuarantine,
+    /// Requests refused because the daemon was draining for shutdown.
+    ServeRejectedDraining,
+    /// Requests refused by the resource envelope (heap cap exceeded).
+    ServeRejectedLimits,
+    /// Tenants placed under quarantine after repeated failures.
+    ServeQuarantineEntered,
+    /// Tenants released from quarantine after their cooldown elapsed.
+    ServeQuarantineReleased,
+    /// Response lines dropped by a bounded per-connection output buffer
+    /// (slow-reader backpressure).
+    ServeDroppedLines,
 }
 
 impl CounterId {
     /// All counters, in export order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::CellsExecuted,
         CounterId::CellsFromCache,
         CounterId::CellsDedupedInBatch,
@@ -70,6 +89,15 @@ impl CounterId {
         CounterId::CacheMisses,
         CounterId::CacheCorrupt,
         CounterId::CacheStores,
+        CounterId::ServeRequests,
+        CounterId::ServeResults,
+        CounterId::ServeRejectedQueueFull,
+        CounterId::ServeRejectedQuarantine,
+        CounterId::ServeRejectedDraining,
+        CounterId::ServeRejectedLimits,
+        CounterId::ServeQuarantineEntered,
+        CounterId::ServeQuarantineReleased,
+        CounterId::ServeDroppedLines,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -93,6 +121,15 @@ impl CounterId {
             CounterId::CacheMisses => "cache_misses",
             CounterId::CacheCorrupt => "cache_corrupt",
             CounterId::CacheStores => "cache_stores",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeResults => "serve_results",
+            CounterId::ServeRejectedQueueFull => "serve_rejected_queue_full",
+            CounterId::ServeRejectedQuarantine => "serve_rejected_quarantine",
+            CounterId::ServeRejectedDraining => "serve_rejected_draining",
+            CounterId::ServeRejectedLimits => "serve_rejected_limits",
+            CounterId::ServeQuarantineEntered => "serve_quarantine_entered",
+            CounterId::ServeQuarantineReleased => "serve_quarantine_released",
+            CounterId::ServeDroppedLines => "serve_dropped_lines",
         }
     }
 
@@ -104,7 +141,12 @@ impl CounterId {
     /// are host-side observations and are excluded from golden
     /// comparisons, exactly like [`crate::HostSpan`]s.
     pub fn deterministic(self) -> bool {
-        !matches!(self, CounterId::MemoInFlightWaits | CounterId::WorkerSteals)
+        // Dropped response lines depend on how fast a client drains its
+        // socket, which is host scheduling, like steals and memo waits.
+        !matches!(
+            self,
+            CounterId::MemoInFlightWaits | CounterId::WorkerSteals | CounterId::ServeDroppedLines
+        )
     }
 
     fn index(self) -> usize {

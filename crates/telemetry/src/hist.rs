@@ -16,11 +16,19 @@ pub enum HistId {
     CellHostUs,
     /// Virtual component spans recorded per cell.
     CellSpans,
+    /// Admission-queue depth observed by the serving daemon at each
+    /// admission (traffic- and scheduling-dependent).
+    ServeQueueDepth,
 }
 
 impl HistId {
     /// All histograms, in export order.
-    pub const ALL: [HistId; 3] = [HistId::CellVirtualUs, HistId::CellHostUs, HistId::CellSpans];
+    pub const ALL: [HistId; 4] = [
+        HistId::CellVirtualUs,
+        HistId::CellHostUs,
+        HistId::CellSpans,
+        HistId::ServeQueueDepth,
+    ];
 
     /// Stable metric name (Prometheus-style snake case).
     pub fn name(self) -> &'static str {
@@ -28,13 +36,14 @@ impl HistId {
             HistId::CellVirtualUs => "cell_virtual_us",
             HistId::CellHostUs => "cell_host_us",
             HistId::CellSpans => "cell_spans",
+            HistId::ServeQueueDepth => "serve_queue_depth",
         }
     }
 
     /// Whether the histogram's content is independent of thread count
     /// (see [`crate::CounterId::deterministic`]).
     pub fn deterministic(self) -> bool {
-        !matches!(self, HistId::CellHostUs)
+        !matches!(self, HistId::CellHostUs | HistId::ServeQueueDepth)
     }
 
     pub(crate) fn index(self) -> usize {
