@@ -1,0 +1,90 @@
+//! Determinism lint runner.
+//!
+//! Scans the deterministic crates (`vm`, `power`, `heap`, `platform`,
+//! `faults`, `bytecode`, `workloads`) for banned nondeterminism sources
+//! and reports every hit not suppressed by the allowlist.
+//!
+//! ```text
+//! vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet]
+//! ```
+//!
+//! * `--root DIR` — workspace root (default: current directory).
+//! * `--allowlist FILE` — allowlist path (default: `ROOT/determinism-allowlist.txt`;
+//!   a missing default file is treated as empty).
+//! * `--quiet` — suppress the per-finding lines; only the summary.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vmprobe_analysis::lint::{parse_allowlist, scan_workspace, SCANNED_CRATES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let explicit = allowlist.is_some();
+    let allow_path = allowlist.unwrap_or_else(|| root.join("determinism-allowlist.txt"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(body) => parse_allowlist(&body),
+        Err(e) if !explicit && e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("vmprobe-lint: cannot read {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match scan_workspace(&root, &allow) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vmprobe-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    println!(
+        "vmprobe-lint: {} finding(s) across crates {{{}}} ({} allowlist entr{})",
+        findings.len(),
+        SCANNED_CRATES.join(", "),
+        allow.len(),
+        if allow.len() == 1 { "y" } else { "ies" },
+    );
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,205 @@
+//! Determinism lint: scan source trees for banned nondeterminism.
+//!
+//! vmprobe's core invariant is bit-identical determinism: the same
+//! configuration must produce the same traces, figures, and cache keys
+//! on every run. The crates on the simulation path (`vm`, `power`,
+//! `heap`, `platform`, `faults`, `bytecode`, `workloads`) must therefore
+//! never consult wall clocks, OS entropy, or iterate unkeyed hash maps
+//! (whose order varies with the hasher seed).
+//!
+//! This is a deliberately dumb, dependency-free scanner: line-based raw
+//! substring matching, no parsing. False positives (a banned token in a
+//! string literal or comment) are expected and handled with an allowlist
+//! file, one `path:line-substring` entry per line. The point is a cheap,
+//! offline CI tripwire — not a type-system proof.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Banned substrings and why each one threatens determinism.
+pub const BANNED: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock time varies between runs"),
+    ("SystemTime", "wall-clock time varies between runs"),
+    ("thread_rng", "OS-seeded RNG varies between runs"),
+    ("rand::", "external RNG crates are unseeded by default"),
+    (
+        "HashMap",
+        "unkeyed hash iteration order varies with the hasher seed",
+    ),
+    (
+        "HashSet",
+        "unkeyed hash iteration order varies with the hasher seed",
+    ),
+];
+
+/// The crates whose sources the lint walks (the deterministic core).
+pub const SCANNED_CRATES: &[&str] = &[
+    "vm",
+    "power",
+    "heap",
+    "platform",
+    "faults",
+    "bytecode",
+    "workloads",
+];
+
+/// One banned-pattern hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the hit is in, relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The banned substring that matched.
+    pub pattern: &'static str,
+    /// Why the pattern is banned.
+    pub reason: &'static str,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` ({}): {}",
+            self.path, self.line, self.pattern, self.reason, self.text
+        )
+    }
+}
+
+/// An allowlist entry: suppresses findings in `path` whose source line
+/// contains `fragment`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Substring of the allowed source line.
+    pub fragment: String,
+}
+
+/// Parse an allowlist file body.
+///
+/// Format: one entry per line, `path:fragment`; `#` starts a comment;
+/// blank lines are ignored. The fragment is matched as a raw substring
+/// of the offending source line.
+pub fn parse_allowlist(body: &str) -> Vec<AllowEntry> {
+    body.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, fragment) = l.split_once(':')?;
+            Some(AllowEntry {
+                path: path.trim().to_owned(),
+                fragment: fragment.trim().to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Scan one file's contents for banned patterns.
+pub fn scan_source(rel_path: &str, body: &str, allow: &[AllowEntry]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        for &(pattern, reason) in BANNED {
+            if !line.contains(pattern) {
+                continue;
+            }
+            let allowed = allow
+                .iter()
+                .any(|e| e.path == rel_path && line.contains(e.fragment.as_str()));
+            if allowed {
+                continue;
+            }
+            findings.push(Finding {
+                path: rel_path.to_owned(),
+                line: idx + 1,
+                pattern,
+                reason,
+                text: line.trim().to_owned(),
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the deterministic crates under `root` (the workspace root).
+///
+/// Returns all findings not suppressed by `allow`, in path/line order.
+pub fn scan_workspace(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in SCANNED_CRATES {
+        let dir = root.join("crates").join(krate);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files)?;
+        for file in files {
+            let body = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(scan_source(&rel, &body, allow));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "use std::collections::BTreeMap;\nfn main() { let m = BTreeMap::new(); }\n";
+        assert!(scan_source("crates/vm/src/x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn banned_patterns_are_reported_with_line_numbers() {
+        let src = "fn t() {\n    let t0 = std::time::Instant::now();\n}\n";
+        let f = scan_source("crates/vm/src/x.rs", src, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].pattern, "Instant::now");
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_path_and_fragment() {
+        let src = "let name = \"java/util/HashMap\";\n";
+        let allow = parse_allowlist("# comment\n\ncrates/vm/src/x.rs: java/util/HashMap\n");
+        assert!(scan_source("crates/vm/src/x.rs", src, &allow).is_empty());
+        // Same line in another file is still reported.
+        assert_eq!(scan_source("crates/vm/src/y.rs", src, &allow).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_is_fragment_specific() {
+        let src = "use std::collections::HashMap;\nlet s = \"HashMap doc\";\n";
+        let allow = parse_allowlist("crates/vm/src/x.rs: HashMap doc\n");
+        let f = scan_source("crates/vm/src/x.rs", src, &allow);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+}

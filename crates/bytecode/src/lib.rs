@@ -40,6 +40,7 @@
 //! ```
 
 #![warn(missing_docs)]
+mod asm;
 mod builder;
 mod class;
 mod disasm;
@@ -48,6 +49,7 @@ mod opcode;
 mod program;
 mod verifier;
 
+pub use asm::{assemble, AsmError};
 pub use builder::{ClassBuilder, Label, MethodBuilder, ProgramBuilder};
 pub use class::{Class, ClassId, FieldDef, StaticDef};
 pub use disasm::disassemble;

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Class, ClassId, Method, MethodId, StaticDef};
+use crate::{Class, ClassId, Method, MethodId, Op, StaticDef};
 
 /// An immutable, verified program ready for execution by the runtime.
 ///
@@ -101,6 +101,34 @@ impl Program {
     /// Number of methods.
     pub fn method_count(&self) -> usize {
         self.methods.len()
+    }
+
+    /// Return a copy of this program with `method`'s body replaced by
+    /// `code`, **bypassing all verification**.
+    ///
+    /// The result may be structurally invalid (dangling branch targets,
+    /// unbalanced stacks, out-of-range ids); the modeled bytecode length
+    /// is recomputed but nothing is checked. This exists for verifier
+    /// and fault-injection testing — mutating a known-good program into
+    /// a corrupt one that the verifiers must reject without panicking.
+    /// Never feed an unverified program to the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` was not minted for this program.
+    pub fn with_method_code(&self, method: MethodId, code: Vec<Op>) -> Self {
+        let mut p = self.clone();
+        let m = &p.methods[method.0 as usize];
+        p.methods[method.0 as usize] = Method::new(
+            m.id(),
+            m.class(),
+            m.name().to_owned(),
+            m.n_args(),
+            m.n_locals(),
+            m.returns_value(),
+            code,
+        );
+        p
     }
 }
 

@@ -1,10 +1,23 @@
-//! Structural bytecode verification.
+//! Structural bytecode verification — the *first tier* of the two-tier
+//! verifier.
 //!
 //! Real JVM class loading verifies bytecode before execution; we model both
 //! the function (catching malformed workload programs at build time) and —
-//! in the runtime — its cost. The verifier performs an abstract
-//! interpretation of operand-stack depth over the control-flow graph and
-//! validates every static index an instruction carries.
+//! in the runtime — its cost. This tier performs an abstract interpretation
+//! of operand-stack *depth* over the control-flow graph and validates every
+//! static index an instruction carries. It deliberately does not track
+//! *types*: two paths meeting at a join with equal depths but incompatible
+//! slot types pass here.
+//!
+//! The second tier lives in `vmprobe-analysis` (`verify_method` /
+//! `verify_program`), which runs a worklist dataflow pass with a type
+//! lattice per stack slot and local, and is merge-point-correct. That tier
+//! *delegates to this one first* — structural errors (dangling branches,
+//! bad indices, depth mismatches) are reported from here as the single
+//! source of truth, and the dataflow pass only ever adds findings on top.
+//! Callers wanting full verification (the VM class loader, the serve
+//! daemon's admission check, `vmprobe-analyze`) go through
+//! `vmprobe_analysis`; this module alone is the cheap build-time screen.
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,443 @@
+//! Static analysis reports and the bound-domination CI gate.
+//!
+//! ```text
+//! vmprobe-analyze [<benchmark>...] [flags]
+//!   (no benchmarks = all of them)
+//! flags:
+//!   --scale <full|s10>    input scale to analyze (default s10)
+//!   --platform <p6|pxa255> platform the bound is calibrated for (default p6)
+//!   --vm <jikes|kaffe>    compilation-tier personality (default jikes)
+//!   --heap-mb <n>         simulated heap the GC term assumes (default 64)
+//!   --step-budget <n>     step clamp S the bound is instantiated at
+//!                         (default 50000000)
+//!   --json                emit the report as JSON instead of tables
+//!   --out <path>          also write the JSON report to a file
+//!   --check-golden        run every golden workload on both personalities
+//!                         and fail unless the static bound dominates the
+//!                         measured energy (the CI gate)
+//! ```
+//!
+//! Plain mode is purely static: it assembles each benchmark's program,
+//! runs the dataflow verifier, and prints per-method worst-case bounds
+//! plus the program-wide energy bound. `--check-golden` additionally
+//! *executes* each workload and cross-checks `static bound ≥ measured
+//! energy`, instantiating the bound at the exact step count the run
+//! performed — this is what catches drift between the analyzer's
+//! mirrored cost constants and the VM's real meter.
+
+use std::process::ExitCode;
+
+use vmprobe::json::JsonObj;
+use vmprobe::{heap_bytes, ExperimentConfig, VmChoice};
+use vmprobe_analysis::{bound_program, verify_program, BoundParams, ProgramBound, VmTier};
+use vmprobe_heap::CollectorKind;
+use vmprobe_platform::PlatformKind;
+use vmprobe_vm::VmConfig;
+use vmprobe_workloads::{all_benchmarks, benchmark, Benchmark, InputScale};
+
+struct Cli {
+    benchmarks: Vec<String>,
+    scale: InputScale,
+    platform: PlatformKind,
+    vm: VmTier,
+    heap_mb: u32,
+    step_budget: u64,
+    json: bool,
+    out: Option<String>,
+    check_golden: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            benchmarks: Vec::new(),
+            scale: InputScale::Reduced,
+            platform: PlatformKind::PentiumM,
+            vm: VmTier::Jikes,
+            heap_mb: 64,
+            step_budget: 50_000_000,
+            json: false,
+            out: None,
+            check_golden: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vmprobe-analyze [<benchmark>...] [--scale full|s10] [--platform p6|pxa255]\n\
+         \x20                      [--vm jikes|kaffe] [--heap-mb <n>] [--step-budget <n>]\n\
+         \x20                      [--json] [--out <path>] [--check-golden]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return Err(String::new());
+        }
+        let Some(flag) = arg.strip_prefix("--") else {
+            cli.benchmarks.push(arg);
+            continue;
+        };
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+            None => (flag.to_owned(), None),
+        };
+        match name.as_str() {
+            "json" => cli.json = true,
+            "check-golden" => cli.check_golden = true,
+            _ => {
+                let Some(value) = inline.or_else(|| it.next()) else {
+                    return Err(format!("--{name} needs a value"));
+                };
+                match name.as_str() {
+                    "scale" => {
+                        cli.scale = match value.as_str() {
+                            "full" => InputScale::Full,
+                            "s10" => InputScale::Reduced,
+                            other => return Err(format!("unknown scale '{other}'")),
+                        }
+                    }
+                    "platform" => {
+                        cli.platform = match value.as_str() {
+                            "p6" => PlatformKind::PentiumM,
+                            "pxa255" => PlatformKind::Pxa255,
+                            other => return Err(format!("unknown platform '{other}'")),
+                        }
+                    }
+                    "vm" => {
+                        cli.vm = match value.as_str() {
+                            "jikes" => VmTier::Jikes,
+                            "kaffe" => VmTier::Kaffe,
+                            other => return Err(format!("unknown vm '{other}'")),
+                        }
+                    }
+                    "heap-mb" => {
+                        cli.heap_mb = value
+                            .parse()
+                            .map_err(|_| format!("--heap-mb expects an integer, got '{value}'"))?
+                    }
+                    "step-budget" => {
+                        cli.step_budget = value.parse().map_err(|_| {
+                            format!("--step-budget expects an integer, got '{value}'")
+                        })?
+                    }
+                    "out" => cli.out = Some(value),
+                    other => return Err(format!("unknown flag --{other}")),
+                }
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// The scheduler quantum the VM actually uses for a platform, read off a
+/// real `VmConfig` so the bound can never drift from the runtime.
+fn quantum_cycles(platform: PlatformKind) -> u64 {
+    VmConfig::jikes(CollectorKind::GenCopy, heap_bytes(32))
+        .platform(platform)
+        .quantum_cycles
+}
+
+fn bound_for(bench: &Benchmark, cli: &Cli, step_budget: u64) -> Result<ProgramBound, String> {
+    let program = bench.build(cli.scale);
+    verify_program(&program).map_err(|e| format!("{} rejected: {e}", bench.name))?;
+    Ok(bound_program(
+        &program,
+        &BoundParams {
+            platform: cli.platform,
+            vm: cli.vm,
+            heap_bytes: heap_bytes(cli.heap_mb),
+            quantum_cycles: quantum_cycles(cli.platform),
+            step_budget,
+        },
+    ))
+}
+
+fn method_json(b: &vmprobe_analysis::MethodBound) -> String {
+    let mut o = JsonObj::new();
+    o.str("method", &b.method.to_string())
+        .str("name", &b.name)
+        .u64("ops", b.ops as u64)
+        .u64("blocks", b.blocks as u64)
+        .bool("cyclic", b.cyclic);
+    match (b.acyclic_cycles, b.acyclic_energy_j) {
+        (Some(c), Some(e)) => {
+            o.f64("acyclic_cycles", c).f64("acyclic_energy_j", e);
+        }
+        _ => {
+            o.raw("acyclic_cycles", "null")
+                .raw("acyclic_energy_j", "null");
+        }
+    }
+    o.finish()
+}
+
+fn program_json(name: &str, scale: InputScale, b: &ProgramBound) -> String {
+    let mut o = JsonObj::new();
+    o.schema_version()
+        .str("benchmark", name)
+        .str("scale", &format!("{scale:?}"))
+        .f64("p_max_w", b.p_max_w)
+        .f64("freq_hz", b.freq_hz)
+        .u64("step_budget", b.step_budget)
+        .f64("classload_cycles", b.classload_cycles)
+        .f64("compile_cycles", b.compile_cycles)
+        .f64("interpret_cycles", b.interpret_cycles)
+        .f64("gc_cycles", b.gc_cycles)
+        .f64("quantum_multiplier", b.quantum_multiplier)
+        .f64("core_energy_j", b.core_energy_j)
+        .f64("total_energy_j", b.total_energy_j)
+        .array("methods", b.methods.iter().map(method_json));
+    o.finish()
+}
+
+fn print_table(name: &str, b: &ProgramBound) {
+    println!(
+        "{name}: P_max {:.2} W, S = {}, bound {:.3e} J (core {:.3e} J, quantum ×{:.4})",
+        b.p_max_w, b.step_budget, b.total_energy_j, b.core_energy_j, b.quantum_multiplier
+    );
+    println!(
+        "  cycles: classload {:.3e}  compile {:.3e}  interpret {:.3e}  gc {:.3e}",
+        b.classload_cycles, b.compile_cycles, b.interpret_cycles, b.gc_cycles
+    );
+    println!(
+        "  {:>6}  {:<26} {:>5} {:>6}  {:>14}  {:>12}",
+        "method", "name", "ops", "blocks", "acyclic cycles", "bound (J)"
+    );
+    for m in &b.methods {
+        let (cycles, energy) = match (m.acyclic_cycles, m.acyclic_energy_j) {
+            (Some(c), Some(e)) => (format!("{c:.1}"), format!("{e:.3e}")),
+            _ => ("cyclic".into(), "—".into()),
+        };
+        println!(
+            "  {:>6}  {:<26} {:>5} {:>6}  {:>14}  {:>12}",
+            m.method.to_string(),
+            m.name,
+            m.ops,
+            m.blocks,
+            cycles,
+            energy
+        );
+    }
+}
+
+/// One golden-workload cross-check cell.
+struct GoldenRow {
+    benchmark: String,
+    vm: String,
+    platform: PlatformKind,
+    bytecodes: u64,
+    measured_j: f64,
+    bound_j: f64,
+}
+
+impl GoldenRow {
+    fn dominated(&self) -> bool {
+        self.bound_j.is_finite() && self.bound_j >= self.measured_j
+    }
+
+    fn slack(&self) -> f64 {
+        self.bound_j / self.measured_j
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("benchmark", &self.benchmark)
+            .str("vm", &self.vm)
+            .str(
+                "platform",
+                match self.platform {
+                    PlatformKind::PentiumM => "p6",
+                    PlatformKind::Pxa255 => "pxa255",
+                },
+            )
+            .u64("bytecodes", self.bytecodes)
+            .f64("measured_j", self.measured_j)
+            .f64("bound_j", self.bound_j)
+            .f64("slack", self.slack())
+            .bool("dominated", self.dominated());
+        o.finish()
+    }
+}
+
+/// Run one golden cell and bound it at exactly the step count it took.
+fn golden_cell(
+    bench: &Benchmark,
+    vm: VmChoice,
+    tier: VmTier,
+    platform: PlatformKind,
+    heap_mb: u32,
+) -> Result<GoldenRow, String> {
+    let cfg = ExperimentConfig {
+        benchmark: bench.name.to_owned(),
+        vm,
+        heap_mb,
+        platform,
+        scale: InputScale::Reduced,
+        trace_power: false,
+        record_spans: false,
+        verify: true,
+    };
+    let summary = cfg.run().map_err(|e| e.to_string())?;
+    let bound = bound_program(
+        &bench.build(InputScale::Reduced),
+        &BoundParams {
+            platform,
+            vm: tier,
+            heap_bytes: heap_bytes(heap_mb),
+            quantum_cycles: quantum_cycles(platform),
+            step_budget: summary.vm.bytecodes,
+        },
+    );
+    Ok(GoldenRow {
+        benchmark: bench.name.to_owned(),
+        vm: summary.config.vm.to_string(),
+        platform,
+        bytecodes: summary.vm.bytecodes,
+        measured_j: summary.report.total_energy.joules(),
+        bound_j: bound.total_energy_j,
+    })
+}
+
+fn check_golden(cli: &Cli) -> Result<(Vec<GoldenRow>, usize), String> {
+    let mut rows = Vec::new();
+    let mut violations = 0;
+    for bench in all_benchmarks() {
+        // Both personalities: Jikes exercises baseline+opt compilation on
+        // the P6, Kaffe the JIT-everything path on the PXA255.
+        let cells = [
+            (
+                VmChoice::Jikes(CollectorKind::GenCopy),
+                VmTier::Jikes,
+                PlatformKind::PentiumM,
+                64,
+            ),
+            (VmChoice::Kaffe, VmTier::Kaffe, PlatformKind::Pxa255, 32),
+        ];
+        for (vm, tier, platform, heap_mb) in cells {
+            // The benchmark's program itself must pass the verifier
+            // before anything runs — the same admission gate the daemon
+            // applies.
+            verify_program(&bench.build(InputScale::Reduced))
+                .map_err(|e| format!("{} rejected by the verifier: {e}", bench.name))?;
+            let row = golden_cell(&bench, vm, tier, platform, heap_mb)?;
+            if !row.dominated() {
+                violations += 1;
+                eprintln!(
+                    "VIOLATION: {} on {} ({platform:?}): bound {:.3e} J < measured {:.3e} J",
+                    row.benchmark, row.vm, row.bound_j, row.measured_j
+                );
+            }
+            rows.push(row);
+        }
+        let _ = cli; // all knobs are fixed by the golden grid
+    }
+    Ok((rows, violations))
+}
+
+fn golden_report(rows: &[GoldenRow], violations: usize) -> String {
+    let mut o = JsonObj::new();
+    o.schema_version()
+        .bool("ok", violations == 0)
+        .u64("violations", violations as u64)
+        .array("rows", rows.iter().map(GoldenRow::to_json));
+    o.finish()
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("vmprobe-analyze: {msg}");
+            }
+            return usage();
+        }
+    };
+
+    if cli.check_golden {
+        let (rows, violations) = match check_golden(&cli) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("vmprobe-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:<16} {:<10} {:>8} {:>12} {:>12} {:>12} {:>8}",
+            "benchmark", "vm", "platform", "bytecodes", "measured J", "bound J", "slack"
+        );
+        for r in &rows {
+            println!(
+                "{:<16} {:<10} {:>8} {:>12} {:>12.4e} {:>12.4e} {:>8.1}",
+                r.benchmark,
+                r.vm,
+                match r.platform {
+                    PlatformKind::PentiumM => "p6",
+                    PlatformKind::Pxa255 => "pxa255",
+                },
+                r.bytecodes,
+                r.measured_j,
+                r.bound_j,
+                r.slack()
+            );
+        }
+        let report = golden_report(&rows, violations);
+        if let Some(path) = &cli.out {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("vmprobe-analyze: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if violations == 0 {
+            println!(
+                "analyze-gate: static bound dominates measured energy on all {} cells",
+                rows.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("analyze-gate: {violations} violation(s)");
+            ExitCode::FAILURE
+        };
+    }
+
+    let names: Vec<String> = if cli.benchmarks.is_empty() {
+        all_benchmarks().iter().map(|b| b.name.to_owned()).collect()
+    } else {
+        cli.benchmarks.clone()
+    };
+    let mut reports = Vec::new();
+    for name in &names {
+        let Some(bench) = benchmark(name) else {
+            eprintln!("vmprobe-analyze: unknown benchmark '{name}'");
+            return ExitCode::FAILURE;
+        };
+        let bound = match bound_for(&bench, &cli, cli.step_budget) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("vmprobe-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if cli.json {
+            println!("{}", program_json(name, cli.scale, &bound));
+        } else {
+            print_table(name, &bound);
+        }
+        reports.push(program_json(name, cli.scale, &bound));
+    }
+    if let Some(path) = &cli.out {
+        let mut o = JsonObj::new();
+        o.schema_version().array("programs", reports);
+        if let Err(e) = std::fs::write(path, o.finish()) {
+            eprintln!("vmprobe-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

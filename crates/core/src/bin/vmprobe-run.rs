@@ -23,6 +23,9 @@
 //!                       written through, so an interrupted or repeated sweep
 //!                       only pays for what is missing
 //!   --no-cache          ignore --cache-dir (compute everything, write nothing)
+//!   --no-verify         skip load-time bytecode verification (escape hatch;
+//!                       verification is host-side and costs zero simulated
+//!                       cycles, so results are identical either way)
 //!   --resume            with --cache-dir: report on stderr how many cells the
 //!                       cache restored vs. recomputed (stdout is unchanged)
 //!   --telemetry-overhead  run uninstrumented first, then instrumented, and
@@ -59,7 +62,7 @@ fn usage() -> ExitCode {
          [--report-json <path>]\n\
          \x20      [--trace-out <path>] [--metrics-out <path>] [--telemetry-overhead] \
          [--verbose]\n\
-         \x20      [--cache-dir <path>] [--no-cache] [--resume]\n\
+         \x20      [--cache-dir <path>] [--no-cache] [--no-verify] [--resume]\n\
          \x20  or: vmprobe-run <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|t1..t5|all> \
          [flags]"
     );
@@ -90,6 +93,7 @@ struct Cli {
     metrics_out: Option<String>,
     cache_dir: Option<String>,
     no_cache: bool,
+    no_verify: bool,
     resume: bool,
     telemetry_overhead: bool,
     verbose: bool,
@@ -173,13 +177,14 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
             };
             // Boolean flags: never consume the next argument.
             match name.as_str() {
-                "telemetry-overhead" | "verbose" | "no-cache" | "resume" => {
+                "telemetry-overhead" | "verbose" | "no-cache" | "no-verify" | "resume" => {
                     if inline.is_some() {
                         return ParseOutcome::Err(format!("--{name} takes no value"));
                     }
                     match name.as_str() {
                         "verbose" => cli.verbose = true,
                         "no-cache" => cli.no_cache = true,
+                        "no-verify" => cli.no_verify = true,
                         "resume" => cli.resume = true,
                         _ => cli.telemetry_overhead = true,
                     }
@@ -530,6 +535,7 @@ fn main() -> ExitCode {
         scale,
         trace_power: false,
         record_spans: false,
+        verify: !cli.no_verify,
     };
 
     let (telemetry, runner, result, wall, bare_best);

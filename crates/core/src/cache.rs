@@ -53,6 +53,7 @@ use vmprobe_vm::{CompilerStats, VmStats};
 use vmprobe_workloads::InputScale;
 
 use crate::experiment::{ExperimentConfig, RunSummary, VmChoice};
+use crate::sweep::lock_unpoisoned;
 
 /// On-disk format version; bumping it invalidates every existing entry.
 const FORMAT_VERSION: u32 = 1;
@@ -219,7 +220,7 @@ impl ExperimentCache {
     /// the disk layer is unaffected).
     #[must_use]
     pub fn with_mem_capacity(self, capacity: usize) -> Self {
-        self.mem.lock().expect("cache mem lock").capacity = capacity;
+        lock_unpoisoned(&self.mem).capacity = capacity;
         self
     }
 
@@ -242,7 +243,7 @@ impl ExperimentCache {
 
     /// Probe for `key`, checking the in-memory layer first, then disk.
     pub fn lookup(&self, key: &str) -> CacheLookup {
-        if let Some(hit) = self.mem.lock().expect("cache mem lock").map.get(key) {
+        if let Some(hit) = lock_unpoisoned(&self.mem).map.get(key) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return CacheLookup::Hit(Arc::clone(hit));
         }
@@ -262,11 +263,7 @@ impl ExperimentCache {
         match parse_entry(&text, key, &self.fingerprint) {
             Parsed::Valid(summary) => {
                 let summary = Arc::new(*summary);
-                let ev = self
-                    .mem
-                    .lock()
-                    .expect("cache mem lock")
-                    .insert(key, Arc::clone(&summary));
+                let ev = lock_unpoisoned(&self.mem).insert(key, Arc::clone(&summary));
                 self.stats.evictions.fetch_add(ev, Ordering::Relaxed);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 CacheLookup::Hit(summary)
@@ -306,11 +303,7 @@ impl ExperimentCache {
         } else {
             let _ = fs::remove_file(&tmp);
         }
-        let ev = self
-            .mem
-            .lock()
-            .expect("cache mem lock")
-            .insert(key, Arc::clone(summary));
+        let ev = lock_unpoisoned(&self.mem).insert(key, Arc::clone(summary));
         self.stats.evictions.fetch_add(ev, Ordering::Relaxed);
     }
 }
@@ -633,6 +626,10 @@ fn decode_body(lines: &[&str]) -> Option<RunSummary> {
         scale: p_scale(f.next())?,
         trace_power: p_bool(f.next())?,
         record_spans: p_bool(f.next())?,
+        // Not persisted: verification is host-side observation that
+        // cannot change an accepted run's summary, so restored configs
+        // always read the default.
+        verify: true,
     };
 
     let mut f = fields(it.next()?, "checksum")?;
@@ -1015,6 +1012,34 @@ mod tests {
         cold.store(&key, &s);
         let fresh = ExperimentCache::open(&dir).unwrap();
         assert!(matches!(fresh.lookup(&key), CacheLookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_index_lock_recovers_instead_of_panicking() {
+        // Regression: the in-memory index used `.lock().unwrap()`, so one
+        // panic while a guard was held poisoned the mutex and every later
+        // lookup/store on the shared cache panicked too. `lock_unpoisoned`
+        // recovers the guard — the index is a plain map, consistent at
+        // every instruction boundary, so the poison flag is noise.
+        let dir = test_dir("poison");
+        let cache = ExperimentCache::open(&dir).unwrap();
+        let s = Arc::new(summary());
+        let key = s.config.key();
+        cache.store(&key, &s);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.mem.lock().unwrap();
+            panic!("poison the index lock");
+        }));
+        assert!(poison.is_err());
+        assert!(
+            cache.mem.is_poisoned(),
+            "unwind must have poisoned the lock"
+        );
+        // Both the memory layer and the disk path still serve.
+        assert!(matches!(cache.lookup(&key), CacheLookup::Hit(_)));
+        cache.store(&key, &s);
+        assert!(matches!(cache.lookup(&key), CacheLookup::Hit(_)));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -50,6 +50,13 @@ pub struct ExperimentConfig {
     /// with this on or off, and derived fault streams ignore it
     /// ([`Self::fault_key`]).
     pub record_spans: bool,
+    /// Run the load-time verification tier (`--no-verify` clears it).
+    /// Verification is host-side and charges zero simulated cycles, so
+    /// accepted runs are bit-identical either way; like
+    /// [`Self::record_spans`] it is excluded from [`Self::key`] and
+    /// [`Self::fault_key`], and it is not persisted in cache entries
+    /// (restored configurations always read `true`).
+    pub verify: bool,
 }
 
 impl ExperimentConfig {
@@ -63,6 +70,7 @@ impl ExperimentConfig {
             scale: InputScale::Full,
             trace_power: false,
             record_spans: false,
+            verify: true,
         }
     }
 
@@ -76,6 +84,7 @@ impl ExperimentConfig {
             scale: InputScale::Full,
             trace_power: false,
             record_spans: false,
+            verify: true,
         }
     }
 
@@ -90,6 +99,7 @@ impl ExperimentConfig {
             scale: InputScale::Reduced,
             trace_power: false,
             record_spans: false,
+            verify: true,
         }
     }
 
@@ -102,6 +112,13 @@ impl ExperimentConfig {
     /// Enable virtual-clock component span recording.
     pub fn with_spans(mut self) -> Self {
         self.record_spans = true;
+        self
+    }
+
+    /// Disable the load-time verification tier (the `--no-verify`
+    /// escape hatch).
+    pub fn without_verify(mut self) -> Self {
+        self.verify = false;
         self
     }
 
@@ -156,6 +173,7 @@ impl ExperimentConfig {
         base.platform(self.platform)
             .trace_power(self.trace_power)
             .record_spans(self.record_spans)
+            .verify(self.verify)
     }
 
     /// Execute the experiment without fault injection.

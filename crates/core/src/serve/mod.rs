@@ -146,6 +146,11 @@ pub struct ServeShared {
     pub outbox_cap: usize,
     /// Shared persistent cache, if configured.
     pub cache: Option<Arc<ExperimentCache>>,
+    /// Memoized admission-time verification verdicts for resolved
+    /// benchmark programs, keyed by `benchmark@scale`. Benchmarks are
+    /// deterministic functions of that key, so one dataflow-verifier
+    /// pass per cell shape serves the daemon's whole lifetime.
+    verified: Mutex<std::collections::BTreeMap<String, Result<(), String>>>,
     drain: AtomicBool,
 }
 
@@ -159,6 +164,25 @@ impl ServeShared {
 
     fn draining(&self) -> bool {
         self.drain.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    /// Admission-time verification of a resolved benchmark program,
+    /// memoized per `benchmark@scale`. `Err` carries the verifier's
+    /// diagnostic; either verdict is cached.
+    pub fn verify_benchmark(
+        &self,
+        bench: &vmprobe_workloads::Benchmark,
+        scale: vmprobe_workloads::InputScale,
+    ) -> Result<(), String> {
+        let key = format!("{}@{scale:?}", bench.name);
+        if let Some(verdict) = lock_unpoisoned(&self.verified).get(&key) {
+            return verdict.clone();
+        }
+        let verdict = vmprobe_analysis::verify_program(&bench.build(scale))
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        lock_unpoisoned(&self.verified).insert(key, verdict.clone());
+        verdict
     }
 
     /// Render the `status` response line.
@@ -206,6 +230,10 @@ impl ServeShared {
             .u64(
                 "results_delivered",
                 self.telemetry.counter(CounterId::ServeResults),
+            )
+            .u64(
+                "verify_rejected",
+                self.telemetry.counter(CounterId::ServeVerifyRejected),
             )
             .array("tenants", all);
         o.finish()
@@ -296,6 +324,7 @@ pub fn serve(config: ServeConfig) -> Result<(), String> {
         envelope: config.envelope,
         outbox_cap: config.outbox_cap,
         cache: cache.clone(),
+        verified: Mutex::new(std::collections::BTreeMap::new()),
         drain: AtomicBool::new(false),
     });
 

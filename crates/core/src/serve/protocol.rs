@@ -255,7 +255,10 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Every byte consumed above is ASCII, but a typed error keeps the
+        // parser panic-free on arbitrary tenant input by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| format!("bad number '{text}' at byte {start}"))?;
@@ -291,6 +294,10 @@ pub enum ErrorCode {
     Panic,
     /// The daemon is draining for shutdown and admits nothing new.
     Draining,
+    /// The submitted or resolved program failed admission-time bytecode
+    /// verification (or did not assemble). The request consumed no pool
+    /// slot and does not count against the tenant's quarantine standing.
+    VerifyRejected,
 }
 
 impl ErrorCode {
@@ -306,6 +313,7 @@ impl ErrorCode {
             ErrorCode::Deadline => "deadline",
             ErrorCode::Panic => "panic",
             ErrorCode::Draining => "draining",
+            ErrorCode::VerifyRejected => "verify_rejected",
         }
     }
 }
@@ -315,6 +323,8 @@ impl ErrorCode {
 pub enum Request {
     /// Run one experiment cell.
     Run(RunRequest),
+    /// Verify a tenant-submitted program without running anything.
+    Verify(VerifyRequest),
     /// Report queue, tenant and quarantine state.
     Status,
     /// Return the Prometheus text dump.
@@ -336,6 +346,17 @@ pub struct RunRequest {
     pub plan: Option<FaultPlan>,
 }
 
+/// One tenant-submitted verification request: assembler text in, a
+/// `verified` line or a `verify_rejected` error out. Nothing executes,
+/// so the request never touches the pool, the queue or quarantine.
+#[derive(Debug, Clone)]
+pub struct VerifyRequest {
+    /// Client-chosen request id, echoed on the response line.
+    pub id: String,
+    /// The program, in `vmprobe_bytecode::assemble` notation.
+    pub program: String,
+}
+
 /// Parse one request line. Errors carry the taxonomy code to respond with.
 pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
     if line.len() > MAX_LINE_BYTES {
@@ -354,8 +375,25 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "run" => parse_run(&v).map(Request::Run),
+        "verify" => parse_verify(&v).map(Request::Verify),
         other => Err((ErrorCode::BadRequest, format!("unknown op '{other}'"))),
     }
+}
+
+fn parse_verify(v: &JsonValue) -> Result<VerifyRequest, (ErrorCode, String)> {
+    let bad = |msg: &str| (ErrorCode::BadRequest, msg.to_owned());
+    let id = v
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| bad("verify request needs a non-empty string 'id'"))?
+        .to_owned();
+    let program = v
+        .get("program")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("verify request needs a string 'program'"))?
+        .to_owned();
+    Ok(VerifyRequest { id, program })
 }
 
 fn parse_run(v: &JsonValue) -> Result<RunRequest, (ErrorCode, String)> {
@@ -431,6 +469,7 @@ fn parse_run(v: &JsonValue) -> Result<RunRequest, (ErrorCode, String)> {
             scale,
             trace_power: false,
             record_spans: false,
+            verify: true,
         },
         plan,
     })
@@ -454,6 +493,16 @@ pub fn accepted_line(id: &str, queue_depth: usize) -> String {
         .str("kind", "accepted")
         .str("id", id)
         .u64("queue_depth", queue_depth as u64);
+    o.finish()
+}
+
+/// Render the success response for a `verify` request.
+pub fn verified_line(id: &str, methods: usize) -> String {
+    let mut o = JsonObj::new();
+    o.bool("ok", true)
+        .str("kind", "verified")
+        .str("id", id)
+        .u64("methods", methods as u64);
     o.finish()
 }
 

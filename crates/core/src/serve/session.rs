@@ -228,17 +228,55 @@ fn handle_line(line: &str, outbox: &Arc<Outbox>, shared: &ServeShared) {
             outbox.push_must(o.finish());
             shared.begin_drain();
         }
+        Request::Verify(req) => {
+            // Pure analysis on the reader thread: no pool slot, no queue
+            // entry, and — deliberately — no quarantine accounting. A
+            // tenant probing whether its program is well-formed is using
+            // the daemon as intended, not failing.
+            let verdict = vmprobe_bytecode::assemble(&req.program)
+                .map_err(|e| e.to_string())
+                .and_then(|p| {
+                    vmprobe_analysis::verify_program(&p)
+                        .map(|_| p.method_count())
+                        .map_err(|e| e.to_string())
+                });
+            match verdict {
+                Ok(methods) => {
+                    outbox.push_must(protocol::verified_line(&req.id, methods));
+                }
+                Err(reason) => {
+                    shared.telemetry.count(CounterId::ServeVerifyRejected, 1);
+                    outbox.push_must(protocol::error_line(
+                        Some(&req.id),
+                        ErrorCode::VerifyRejected,
+                        &reason,
+                    ));
+                }
+            }
+        }
         Request::Run(run) => {
             if let Err((code, msg)) = shared.envelope.admit(&run.config) {
                 shared.telemetry.count(CounterId::ServeRejectedLimits, 1);
                 outbox.push_must(protocol::error_line(Some(&run.id), code, &msg));
                 return;
             }
-            if vmprobe_workloads::benchmark(&run.config.benchmark).is_none() {
+            let Some(bench) = vmprobe_workloads::benchmark(&run.config.benchmark) else {
                 outbox.push_must(protocol::error_line(
                     Some(&run.id),
                     ErrorCode::BadRequest,
                     &format!("unknown benchmark '{}'", run.config.benchmark),
+                ));
+                return;
+            };
+            // Admission-time verification (memoized per benchmark+scale):
+            // an ill-typed program is refused before it can consume a
+            // pool slot, and the refusal never touches quarantine.
+            if let Err(reason) = shared.verify_benchmark(&bench, run.config.scale) {
+                shared.telemetry.count(CounterId::ServeVerifyRejected, 1);
+                outbox.push_must(protocol::error_line(
+                    Some(&run.id),
+                    ErrorCode::VerifyRejected,
+                    &reason,
                 ));
                 return;
             }

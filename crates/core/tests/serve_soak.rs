@@ -133,6 +133,7 @@ fn baseline_line(id: &str, benchmark: &str, heap_mb: u32) -> String {
         scale: InputScale::Reduced,
         trace_power: false,
         record_spans: false,
+        verify: true,
     };
     let summary = Runner::new().run(&cfg).expect("baseline runs");
     result_line(id, &summary)
@@ -319,6 +320,97 @@ fn poisoned_tenant_is_quarantined_released_and_isolated() {
     alice.send(r#"{"op":"shutdown"}"#);
     alice.read_kind(&["draining"]);
     alice.read_kind(&["bye"]);
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_programs_are_rejected_at_admission_without_touching_quarantine() {
+    let dir = temp_dir("verify");
+    let socket = dir.join("daemon.sock");
+    let mut daemon = spawn_daemon(
+        &socket,
+        &[
+            "--jobs",
+            "2",
+            "--retries",
+            "0",
+            "--quarantine-threshold",
+            "2",
+            "--quarantine-cooldown",
+            "64",
+        ],
+    );
+
+    let mut carol = Client::connect(&socket);
+
+    // The merge-point regression program: both branch arms reach `merge`
+    // at depth 1, one with an int and one with a float, and the merged
+    // value feeds an integer add. The old structural verifier accepted
+    // this shape (depths agree); the dataflow verifier must reject it.
+    let merge_conflict = ".method main 0 0 ret\\n const_i 1\\n br_true thenarm\\n \
+                          const_f 2.0\\n jump merge\\nthenarm: const_i 3\\n\
+                          merge: const_i 1\\n add\\n ret_value";
+    // A structurally broken program (dangling branch target).
+    let dangling = ".method main 0 0\\n jump @99\\n ret";
+    // One that does not even assemble.
+    let garbage = ".method main 0 0\\n frobnicate\\n ret";
+
+    // More rejections than the quarantine threshold: none of them may
+    // count against the tenant.
+    for (i, program) in [merge_conflict, dangling, garbage, merge_conflict]
+        .iter()
+        .enumerate()
+    {
+        carol.send(&format!(
+            "{{\"op\":\"verify\",\"id\":\"v{i}\",\"program\":\"{program}\"}}"
+        ));
+        let (line, v) = carol.read_kind(&["error", "verified"]);
+        assert_eq!(
+            v.get("code").and_then(JsonValue::as_str),
+            Some("verify_rejected"),
+            "program {i}: {line}"
+        );
+        assert_eq!(
+            v.get("id").and_then(JsonValue::as_str),
+            Some(format!("v{i}").as_str())
+        );
+    }
+
+    // A well-formed program passes both verifier tiers over the wire.
+    let good = ".method main 0 1 ret\\n const_i 1\\n br_true thenarm\\n \
+                const_i 2\\n jump merge\\nthenarm: const_i 3\\n\
+                merge: store 0\\n load 0\\n ret_value";
+    carol.send(&format!(
+        "{{\"op\":\"verify\",\"id\":\"ok\",\"program\":\"{good}\"}}"
+    ));
+    let (line, v) = carol.read_kind(&["error", "verified"]);
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("verified"), "{line}");
+    assert_eq!(v.get("methods").and_then(JsonValue::as_u64), Some(1));
+
+    // The rejections consumed no pool slot and never touched quarantine:
+    // the same tenant's run is admitted and bit-identical to batch mode.
+    carol.send(&run_line("after-verify", "carol", "search", 32, None));
+    let (result, _) = carol.read_kind(&["result"]);
+    assert_eq!(result, baseline_line("after-verify", "search", 32));
+
+    // Status reports the rejections and an empty quarantine book.
+    carol.send(r#"{"op":"status"}"#);
+    let (status_line, status) = carol.read_kind(&["status"]);
+    assert_eq!(
+        status.get("verify_rejected").and_then(JsonValue::as_u64),
+        Some(4),
+        "{status_line}"
+    );
+    assert!(
+        !status_line.contains("\"quarantined\":true"),
+        "verify rejections must not quarantine anyone: {status_line}"
+    );
+
+    carol.send(r#"{"op":"shutdown"}"#);
+    carol.read_kind(&["draining"]);
+    carol.read_kind(&["bye"]);
     let status = daemon.wait().expect("daemon exits");
     assert_eq!(status.code(), Some(0));
     std::fs::remove_dir_all(&dir).ok();

@@ -66,11 +66,14 @@ pub enum CounterId {
     /// Response lines dropped by a bounded per-connection output buffer
     /// (slow-reader backpressure).
     ServeDroppedLines,
+    /// Tenant programs rejected by the admission-time bytecode verifier
+    /// (explicit `verify` requests and memoized benchmark checks).
+    ServeVerifyRejected,
 }
 
 impl CounterId {
     /// All counters, in export order.
-    pub const ALL: [CounterId; 27] = [
+    pub const ALL: [CounterId; 28] = [
         CounterId::CellsExecuted,
         CounterId::CellsFromCache,
         CounterId::CellsDedupedInBatch,
@@ -98,6 +101,7 @@ impl CounterId {
         CounterId::ServeQuarantineEntered,
         CounterId::ServeQuarantineReleased,
         CounterId::ServeDroppedLines,
+        CounterId::ServeVerifyRejected,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -130,6 +134,7 @@ impl CounterId {
             CounterId::ServeQuarantineEntered => "serve_quarantine_entered",
             CounterId::ServeQuarantineReleased => "serve_quarantine_released",
             CounterId::ServeDroppedLines => "serve_dropped_lines",
+            CounterId::ServeVerifyRejected => "serve_verify_rejected",
         }
     }
 

@@ -18,7 +18,7 @@
 use vmprobe_bytecode::{ClassId, Program, Ty};
 use vmprobe_platform::{Exec, CLASSFILE_BASE, CODE_BASE, VM_BASE};
 
-use crate::Meter;
+use crate::{Meter, VmError};
 
 /// Parse work per class-file byte (integer ops).
 const PARSE_OPS_PER_BYTE: u32 = 2;
@@ -86,6 +86,10 @@ pub struct ClassLoader {
     pub bytes_loaded: u64,
     /// Calls into the loader (including fast-path already-loaded checks).
     pub load_calls: u64,
+    /// Whether first-load runs the dataflow verification tier
+    /// ([`vmprobe_analysis::verify_class`]). Host-side only: it charges
+    /// zero simulated cycles either way.
+    verify: bool,
 }
 
 impl ClassLoader {
@@ -130,7 +134,13 @@ impl ClassLoader {
             classes_loaded: 0,
             bytes_loaded: 0,
             load_calls: 0,
+            verify: true,
         }
+    }
+
+    /// Enable/disable the load-time verification tier (`--no-verify`).
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
     }
 
     /// Runtime state for `id`.
@@ -153,17 +163,40 @@ impl ClassLoader {
     }
 
     /// Ensure `id` is loaded, charging the loading cost to `meter` inside
-    /// the class-loader component. Returns `true` when a load happened.
+    /// the class-loader component. Returns `Ok(true)` when a load
+    /// happened, `Ok(false)` on the already-loaded fast path.
+    ///
+    /// On first load (boot-image classes excluded — they are trusted)
+    /// the dataflow verification tier runs over every method of the
+    /// class and a failure aborts the load with
+    /// [`VmError::VerifyRejected`]. The real tier replaces the modeled
+    /// per-byte "verification" charge below only in *function* — the
+    /// energy model is unchanged: analysis runs host-side and charges
+    /// zero simulated cycles, so accepted runs are bit-identical with
+    /// verification on or off.
     ///
     /// The caller is responsible for having entered/exiting no component:
     /// this method brackets itself with
     /// [`ComponentId::ClassLoader`](vmprobe_power::ComponentId::ClassLoader).
-    pub fn ensure_loaded(&mut self, program: &Program, id: ClassId, meter: &mut Meter) -> bool {
+    pub fn ensure_loaded(
+        &mut self,
+        program: &Program,
+        id: ClassId,
+        meter: &mut Meter,
+    ) -> Result<bool, VmError> {
         self.load_calls += 1;
         if self.classes[id.0 as usize].loaded {
             // Fast path: a resolved-check costs a couple of ops.
             meter.int_ops(2);
-            return false;
+            return Ok(false);
+        }
+        if self.verify {
+            if let Err(e) = vmprobe_analysis::verify_class(program, id) {
+                return Err(VmError::VerifyRejected {
+                    class: id,
+                    reason: e.to_string(),
+                });
+            }
         }
         meter.enter(vmprobe_power::ComponentId::ClassLoader);
         let (addr, bytes) = {
@@ -207,7 +240,7 @@ impl ClassLoader {
         self.classes_loaded += 1;
         self.bytes_loaded += u64::from(bytes);
         meter.exit();
-        true
+        Ok(true)
     }
 }
 
@@ -275,13 +308,17 @@ mod tests {
         let mut loader = ClassLoader::new(&prog);
         let mut meter = Meter::new(PlatformKind::PentiumM, false);
         let before = meter.cycles();
-        assert!(loader.ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter));
+        assert!(loader
+            .ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter)
+            .unwrap());
         assert!(meter.cycles() > before + 1000);
         assert!(loader.class(vmprobe_bytecode::ClassId(1)).is_loaded());
         assert_eq!(loader.classes_loaded, 1);
         // Second call is a cheap fast path.
         let mid = meter.cycles();
-        assert!(!loader.ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter));
+        assert!(!loader
+            .ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter)
+            .unwrap());
         assert!(meter.cycles() - mid < 100);
     }
 
@@ -293,13 +330,55 @@ mod tests {
         meter.set_base(ComponentId::Application);
         // Load enough times (different classes would be needed; here the
         // single big class) to cross at least one 40us window.
-        loader.ensure_loaded(&prog, vmprobe_bytecode::ClassId(0), &mut meter);
-        loader.ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter);
+        loader
+            .ensure_loaded(&prog, vmprobe_bytecode::ClassId(0), &mut meter)
+            .unwrap();
+        loader
+            .ensure_loaded(&prog, vmprobe_bytecode::ClassId(1), &mut meter)
+            .unwrap();
         meter.flush_samples();
         let r = meter.daq().report();
         // CL work may be under one window; at minimum nothing is attributed
         // to components that never ran.
         assert_eq!(r.component(ComponentId::Gc).samples, 0);
+    }
+
+    #[test]
+    fn corrupt_class_is_rejected_at_load_time_unless_verification_is_off() {
+        let prog = sample_program();
+        // Corrupt App::main (class 1): add an Int and a Float merged at a
+        // join, consumed by an integer op — the dataflow tier's case.
+        let main = prog.entry();
+        let corrupt = prog.with_method_code(
+            main,
+            vec![
+                vmprobe_bytecode::Op::ConstI(1),
+                vmprobe_bytecode::Op::BrFalse(4),
+                vmprobe_bytecode::Op::ConstI(7),
+                vmprobe_bytecode::Op::Jump(5),
+                vmprobe_bytecode::Op::ConstF(7.0),
+                vmprobe_bytecode::Op::ConstI(1),
+                vmprobe_bytecode::Op::Add,
+                vmprobe_bytecode::Op::Pop,
+                vmprobe_bytecode::Op::Ret,
+            ],
+        );
+        let mut loader = ClassLoader::new(&corrupt);
+        let mut meter = Meter::new(PlatformKind::PentiumM, false);
+        let err = loader
+            .ensure_loaded(&corrupt, vmprobe_bytecode::ClassId(1), &mut meter)
+            .unwrap_err();
+        assert!(matches!(err, VmError::VerifyRejected { class, .. }
+            if class == vmprobe_bytecode::ClassId(1)));
+        assert!(!loader.class(vmprobe_bytecode::ClassId(1)).is_loaded());
+        assert_eq!(loader.classes_loaded, 0);
+
+        // The --no-verify escape hatch loads it anyway.
+        let mut loader = ClassLoader::new(&corrupt);
+        loader.set_verify(false);
+        assert!(loader
+            .ensure_loaded(&corrupt, vmprobe_bytecode::ClassId(1), &mut meter)
+            .unwrap());
     }
 
     #[test]
@@ -311,7 +390,9 @@ mod tests {
         assert!(!loader.class(vmprobe_bytecode::ClassId(1)).is_loaded());
         // Boot-image classes cost nothing at runtime.
         let mut meter = Meter::new(PlatformKind::PentiumM, false);
-        assert!(!loader.ensure_loaded(&prog, vmprobe_bytecode::ClassId(0), &mut meter));
+        assert!(!loader
+            .ensure_loaded(&prog, vmprobe_bytecode::ClassId(0), &mut meter)
+            .unwrap());
         assert_eq!(loader.classes_loaded, 0);
     }
 }

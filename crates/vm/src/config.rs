@@ -81,6 +81,14 @@ pub struct VmConfig {
     /// the telemetry layer. Recording charges zero simulated cycles, so
     /// every report is bit-identical with this on or off.
     pub record_spans: bool,
+    /// Run the dataflow verification tier when a class is first loaded
+    /// (rejecting the run with [`VmError::VerifyRejected`] on failure).
+    /// On by default; the `--no-verify` escape hatch clears it.
+    /// Verification happens host-side and charges zero simulated cycles,
+    /// so results are bit-identical with this on or off.
+    ///
+    /// [`VmError::VerifyRejected`]: crate::VmError::VerifyRejected
+    pub verify: bool,
 }
 
 impl VmConfig {
@@ -99,6 +107,7 @@ impl VmConfig {
             nursery_bytes: None,
             faults: FaultPlan::none(),
             record_spans: false,
+            verify: true,
         }
     }
 
@@ -118,6 +127,7 @@ impl VmConfig {
             nursery_bytes: None,
             faults: FaultPlan::none(),
             record_spans: false,
+            verify: true,
         }
     }
 
@@ -165,6 +175,12 @@ impl VmConfig {
     /// Enable/disable virtual-clock component span recording.
     pub fn record_spans(mut self, on: bool) -> Self {
         self.record_spans = on;
+        self
+    }
+
+    /// Enable/disable the load-time verification tier.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
         self
     }
 }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use vmprobe_bytecode::MethodId;
+use vmprobe_bytecode::{ClassId, MethodId};
 
 /// A fault raised during execution.
 ///
@@ -73,6 +73,18 @@ pub enum VmError {
         /// The configured budget in bytecodes.
         budget: u64,
     },
+    /// The load-time verification tier rejected a class: some method
+    /// failed the dataflow verifier (merge-point type conflict,
+    /// uninitialized local, structural defect). Disable with the
+    /// `--no-verify` escape hatch ([`VmConfig::verify`]).
+    ///
+    /// [`VmConfig::verify`]: crate::VmConfig::verify
+    VerifyRejected {
+        /// The class whose load was refused.
+        class: ClassId,
+        /// The verifier's diagnostic, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -118,6 +130,9 @@ impl fmt::Display for VmError {
             }
             VmError::StepBudgetExhausted { budget } => {
                 write!(f, "step budget of {budget} bytecodes exhausted")
+            }
+            VmError::VerifyRejected { class, reason } => {
+                write!(f, "class C{} rejected by the verifier: {reason}", class.0)
             }
         }
     }

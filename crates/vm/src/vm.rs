@@ -138,7 +138,8 @@ impl Vm {
     /// Build a VM for `program` under `config`, rejecting heaps the
     /// collector cannot lay out with [`VmError::HeapConfig`].
     pub fn try_new(program: Program, config: VmConfig) -> Result<Self, VmError> {
-        let loader = ClassLoader::new(&program);
+        let mut loader = ClassLoader::new(&program);
+        loader.set_verify(config.verify);
         let compilers = CompilerSubsystem::new(&program);
         let statics = vec![Value::Null; program.statics().len()];
         let mut meter = Meter::with_faults(
@@ -500,7 +501,9 @@ impl Vm {
 
                 // ---- objects & arrays ----
                 Op::New(c) => {
-                    self.loader.ensure_loaded(&program, c, &mut self.meter);
+                    if let Err(e) = self.loader.ensure_loaded(&program, c, &mut self.meter) {
+                        fault!(e);
+                    }
                     let rt = self.loader.class(c);
                     let req = AllocRequest::instance(c.0, rt.ref_slots(), rt.prim_slots());
                     match self.alloc(req, &frame) {
@@ -706,7 +709,7 @@ impl Vm {
         let program = Arc::clone(&self.program);
         let method = program.method(m);
         self.loader
-            .ensure_loaded(&program, method.class(), &mut self.meter);
+            .ensure_loaded(&program, method.class(), &mut self.meter)?;
 
         if self.compilers.method(m).tier == Tier::Uncompiled {
             match self.config.personality {

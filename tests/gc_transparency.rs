@@ -17,6 +17,7 @@ fn checksum(benchmark: &str, vm: VmChoice, heap_mb: u32, platform: PlatformKind)
         scale: InputScale::Reduced,
         trace_power: false,
         record_spans: false,
+        verify: true,
     };
     let run = cfg
         .run()
