@@ -28,7 +28,7 @@
 use std::process::ExitCode;
 
 use vmprobe::json::JsonObj;
-use vmprobe::{heap_bytes, ExperimentConfig, VmChoice};
+use vmprobe::{golden_cells, heap_bytes, ExperimentConfig, VmChoice};
 use vmprobe_analysis::{bound_program, verify_program, BoundParams, ProgramBound, VmTier};
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
@@ -265,39 +265,31 @@ impl GoldenRow {
     }
 }
 
+/// The bound analyzer's compilation-tier personality for a cell's VM.
+fn tier_for(vm: &VmChoice) -> VmTier {
+    match vm {
+        VmChoice::Jikes(_) => VmTier::Jikes,
+        VmChoice::Kaffe => VmTier::Kaffe,
+    }
+}
+
 /// Run one golden cell and bound it at exactly the step count it took.
-fn golden_cell(
-    bench: &Benchmark,
-    vm: VmChoice,
-    tier: VmTier,
-    platform: PlatformKind,
-    heap_mb: u32,
-) -> Result<GoldenRow, String> {
-    let cfg = ExperimentConfig {
-        benchmark: bench.name.to_owned(),
-        vm,
-        heap_mb,
-        platform,
-        scale: InputScale::Reduced,
-        trace_power: false,
-        record_spans: false,
-        verify: true,
-    };
+fn golden_cell(bench: &Benchmark, cfg: &ExperimentConfig) -> Result<GoldenRow, String> {
     let summary = cfg.run().map_err(|e| e.to_string())?;
     let bound = bound_program(
-        &bench.build(InputScale::Reduced),
+        &bench.build(cfg.scale),
         &BoundParams {
-            platform,
-            vm: tier,
-            heap_bytes: heap_bytes(heap_mb),
-            quantum_cycles: quantum_cycles(platform),
+            platform: cfg.platform,
+            vm: tier_for(&cfg.vm),
+            heap_bytes: heap_bytes(cfg.heap_mb),
+            quantum_cycles: quantum_cycles(cfg.platform),
             step_budget: summary.vm.bytecodes,
         },
     );
     Ok(GoldenRow {
         benchmark: bench.name.to_owned(),
         vm: summary.config.vm.to_string(),
-        platform,
+        platform: cfg.platform,
         bytecodes: summary.vm.bytecodes,
         measured_j: summary.report.total_energy.joules(),
         bound_j: bound.total_energy_j,
@@ -307,36 +299,28 @@ fn golden_cell(
 fn check_golden(cli: &Cli) -> Result<(Vec<GoldenRow>, usize), String> {
     let mut rows = Vec::new();
     let mut violations = 0;
-    for bench in all_benchmarks() {
-        // Both personalities: Jikes exercises baseline+opt compilation on
-        // the P6, Kaffe the JIT-everything path on the PXA255.
-        let cells = [
-            (
-                VmChoice::Jikes(CollectorKind::GenCopy),
-                VmTier::Jikes,
-                PlatformKind::PentiumM,
-                64,
-            ),
-            (VmChoice::Kaffe, VmTier::Kaffe, PlatformKind::Pxa255, 32),
-        ];
-        for (vm, tier, platform, heap_mb) in cells {
-            // The benchmark's program itself must pass the verifier
-            // before anything runs — the same admission gate the daemon
-            // applies.
-            verify_program(&bench.build(InputScale::Reduced))
-                .map_err(|e| format!("{} rejected by the verifier: {e}", bench.name))?;
-            let row = golden_cell(&bench, vm, tier, platform, heap_mb)?;
-            if !row.dominated() {
-                violations += 1;
-                eprintln!(
-                    "VIOLATION: {} on {} ({platform:?}): bound {:.3e} J < measured {:.3e} J",
-                    row.benchmark, row.vm, row.bound_j, row.measured_j
-                );
-            }
-            rows.push(row);
+    // The golden grid — every benchmark on both personalities: Jikes
+    // exercises baseline+opt compilation on the P6, Kaffe the
+    // JIT-everything path on the PXA255. Shared with the diff gate so the
+    // two CI gates can never drift apart on coverage.
+    for cfg in golden_cells() {
+        let bench = benchmark(&cfg.benchmark)
+            .ok_or_else(|| format!("golden cell names unknown benchmark '{}'", cfg.benchmark))?;
+        // The benchmark's program itself must pass the verifier before
+        // anything runs — the same admission gate the daemon applies.
+        verify_program(&bench.build(cfg.scale))
+            .map_err(|e| format!("{} rejected by the verifier: {e}", bench.name))?;
+        let row = golden_cell(&bench, &cfg)?;
+        if !row.dominated() {
+            violations += 1;
+            eprintln!(
+                "VIOLATION: {} on {} ({:?}): bound {:.3e} J < measured {:.3e} J",
+                row.benchmark, row.vm, cfg.platform, row.bound_j, row.measured_j
+            );
         }
-        let _ = cli; // all knobs are fixed by the golden grid
+        rows.push(row);
     }
+    let _ = cli; // all knobs are fixed by the golden grid
     Ok((rows, violations))
 }
 
@@ -440,4 +424,49 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The historical `--check-golden` enumeration, verbatim, against the
+    /// shared helper: the two grids must agree cell for cell, or the
+    /// analyze gate and the diff gate silently diverge on coverage.
+    #[test]
+    fn golden_cells_agree_with_the_legacy_enumeration() {
+        let mut legacy = Vec::new();
+        for bench in all_benchmarks() {
+            let cells = [
+                (
+                    VmChoice::Jikes(CollectorKind::GenCopy),
+                    PlatformKind::PentiumM,
+                    64,
+                ),
+                (VmChoice::Kaffe, PlatformKind::Pxa255, 32),
+            ];
+            for (vm, platform, heap_mb) in cells {
+                legacy.push(ExperimentConfig {
+                    benchmark: bench.name.to_owned(),
+                    vm,
+                    heap_mb,
+                    platform,
+                    scale: InputScale::Reduced,
+                    trace_power: false,
+                    record_spans: false,
+                    verify: true,
+                });
+            }
+        }
+        assert_eq!(golden_cells(), legacy);
+    }
+
+    #[test]
+    fn tiers_track_the_vm_personality() {
+        assert_eq!(
+            tier_for(&VmChoice::Jikes(CollectorKind::SemiSpace)),
+            VmTier::Jikes
+        );
+        assert_eq!(tier_for(&VmChoice::Kaffe), VmTier::Kaffe);
+    }
 }

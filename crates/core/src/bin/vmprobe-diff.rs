@@ -1,0 +1,252 @@
+//! The energy-regression gate CLI.
+//!
+//! ```text
+//! vmprobe-diff [<benchmark>...] [flags]
+//!   (no benchmarks = the full golden grid, both personalities)
+//! flags:
+//!   --jobs <n>                 sweep worker threads (default 1; output is
+//!                              byte-identical for any value)
+//!   --seed <n>                 diff root seed (default 53759)
+//!   --replicates <n>           runs per cell in the seed ensemble (default 5)
+//!   --resamples <n>            bootstrap draws per interval (default 200)
+//!   --confidence <f>           two-sided CI level in (0,1) (default 0.99)
+//!   --noise <f>                ensemble sensor-noise sigma (default 0.003)
+//!   --min-shift <f>            practical-significance floor on |rel shift|
+//!                              (default 0.005)
+//!   --perturb <spec>           scale candidate-side component energies,
+//!                              e.g. "gc=+5%,jit=-1%" (simulated build change)
+//!   --cache-dir <path>         persistent cache shared by both sides
+//!   --baseline-fingerprint <l> address the baseline side's cache entries
+//!                              (default: this build's fingerprint)
+//!   --candidate-fingerprint <l> likewise for the candidate side
+//!   --out <path>               write the RegressionReport JSON to a file
+//!   --json                     print the JSON report on stdout
+//! ```
+//!
+//! Exit status: 0 when no regression is flagged, 1 when at least one is,
+//! 2 on usage or execution errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use vmprobe::cache::build_fingerprint;
+use vmprobe::{golden_cells, DiffEngine, DiffOptions, DiffSide, ExperimentCache, Telemetry};
+use vmprobe_power::EnergyPerturbation;
+
+struct Cli {
+    benchmarks: Vec<String>,
+    jobs: usize,
+    options: DiffOptions,
+    perturb: EnergyPerturbation,
+    cache_dir: Option<String>,
+    baseline_fingerprint: Option<String>,
+    candidate_fingerprint: Option<String>,
+    out: Option<String>,
+    json: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            benchmarks: Vec::new(),
+            jobs: 1,
+            options: DiffOptions::default(),
+            perturb: EnergyPerturbation::none(),
+            cache_dir: None,
+            baseline_fingerprint: None,
+            candidate_fingerprint: None,
+            out: None,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vmprobe-diff [<benchmark>...] [--jobs <n>] [--seed <n>] [--replicates <n>]\n\
+         \x20                   [--resamples <n>] [--confidence <f>] [--noise <f>]\n\
+         \x20                   [--min-shift <f>] [--perturb <spec>] [--cache-dir <path>]\n\
+         \x20                   [--baseline-fingerprint <l>] [--candidate-fingerprint <l>]\n\
+         \x20                   [--out <path>] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return Err(String::new());
+        }
+        let Some(flag) = arg.strip_prefix("--") else {
+            cli.benchmarks.push(arg);
+            continue;
+        };
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+            None => (flag.to_owned(), None),
+        };
+        match name.as_str() {
+            "json" => cli.json = true,
+            _ => {
+                let Some(value) = inline.or_else(|| it.next()) else {
+                    return Err(format!("--{name} needs a value"));
+                };
+                let int = |v: &str, flag: &str| -> Result<u64, String> {
+                    v.parse()
+                        .map_err(|_| format!("--{flag} expects an integer, got '{v}'"))
+                };
+                let float = |v: &str, flag: &str| -> Result<f64, String> {
+                    v.parse()
+                        .map_err(|_| format!("--{flag} expects a number, got '{v}'"))
+                };
+                match name.as_str() {
+                    "jobs" => cli.jobs = int(&value, "jobs")?.max(1) as usize,
+                    "seed" => cli.options.seed = int(&value, "seed")?,
+                    "replicates" => {
+                        cli.options.replicates = int(&value, "replicates")?.max(1) as usize
+                    }
+                    "resamples" => cli.options.resamples = int(&value, "resamples")?.max(1) as u32,
+                    "confidence" => {
+                        let c = float(&value, "confidence")?;
+                        if !(c > 0.0 && c < 1.0) {
+                            return Err(format!("--confidence must be in (0,1), got {c}"));
+                        }
+                        cli.options.confidence = c;
+                    }
+                    "noise" => {
+                        let s = float(&value, "noise")?;
+                        if !(s >= 0.0 && s.is_finite()) {
+                            return Err(format!("--noise must be >= 0, got {s}"));
+                        }
+                        cli.options.noise_sigma = s;
+                    }
+                    "min-shift" => {
+                        let m = float(&value, "min-shift")?;
+                        if !(m >= 0.0 && m.is_finite()) {
+                            return Err(format!("--min-shift must be >= 0, got {m}"));
+                        }
+                        cli.options.min_rel_shift = m;
+                    }
+                    "perturb" => {
+                        cli.perturb =
+                            EnergyPerturbation::parse(&value).map_err(|e| e.to_string())?
+                    }
+                    "cache-dir" => cli.cache_dir = Some(value),
+                    "baseline-fingerprint" => cli.baseline_fingerprint = Some(value),
+                    "candidate-fingerprint" => cli.candidate_fingerprint = Some(value),
+                    "out" => cli.out = Some(value),
+                    other => return Err(format!("unknown flag --{other}")),
+                }
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn side(dir: Option<&str>, label: &str) -> Result<DiffSide, String> {
+    let mut side = DiffSide::new(label);
+    if let Some(dir) = dir {
+        let cache = ExperimentCache::open(dir)
+            .map_err(|e| format!("cannot open cache {dir}: {e}"))?
+            .with_fingerprint(label);
+        side = side.with_cache(Arc::new(cache));
+    }
+    Ok(side)
+}
+
+fn run(cli: &Cli) -> Result<ExitCode, String> {
+    let mut cells = golden_cells();
+    if !cli.benchmarks.is_empty() {
+        for name in &cli.benchmarks {
+            if !cells.iter().any(|c| &c.benchmark == name) {
+                return Err(format!("unknown benchmark '{name}'"));
+            }
+        }
+        cells.retain(|c| cli.benchmarks.contains(&c.benchmark));
+    }
+
+    let build = build_fingerprint();
+    let base_label = cli.baseline_fingerprint.as_deref().unwrap_or(&build);
+    let cand_label = cli.candidate_fingerprint.as_deref().unwrap_or(&build);
+    let dir = cli.cache_dir.as_deref();
+    let engine = DiffEngine::new(cli.options, side(dir, base_label)?, side(dir, cand_label)?)
+        .perturb(cli.perturb.clone())
+        .jobs(cli.jobs)
+        .with_telemetry(Telemetry::counters_only());
+
+    let report = engine.run(&cells)?;
+
+    if cli.json {
+        println!("{}", report.to_json());
+    } else {
+        for (kind, deltas) in [
+            ("REGRESSION", &report.regressions),
+            ("improvement", &report.improvements),
+        ] {
+            for d in deltas {
+                println!(
+                    "{kind}: {} [{}]: {:.4e} J -> {:.4e} J ({:+.2}%), CI [{:.4e}, {:.4e}] vs [{:.4e}, {:.4e}]",
+                    d.cell,
+                    d.component,
+                    d.baseline.mean,
+                    d.candidate.mean,
+                    d.rel_shift * 100.0,
+                    d.baseline.lo,
+                    d.baseline.hi,
+                    d.candidate.lo,
+                    d.candidate.hi,
+                );
+            }
+        }
+    }
+    if let Some(path) = &cli.out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let summary = if report.clean() {
+        format!(
+            "diff-gate: clean — no regressions across {} cells ({} comparisons)",
+            report.cells, report.comparisons
+        )
+    } else {
+        format!(
+            "diff-gate: {} regression(s) in [{}] across {} cells ({} comparisons)",
+            report.regressions.len(),
+            report.components_flagged().join(", "),
+            report.cells,
+            report.comparisons
+        )
+    };
+    // In --json mode stdout carries exactly the report, so scripts can pipe
+    // it straight into a JSON parser; the human summary moves to stderr.
+    if cli.json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("vmprobe-diff: {msg}");
+            }
+            return usage();
+        }
+    };
+    match run(&cli) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("vmprobe-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

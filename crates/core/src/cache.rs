@@ -224,6 +224,24 @@ impl ExperimentCache {
         self
     }
 
+    /// Replace the entry fingerprint with an explicit `label`.
+    ///
+    /// Entries written by a handle only satisfy lookups from a handle with
+    /// the same fingerprint, so two handles with different labels partition
+    /// one directory into independent namespaces. `vmprobe-diff` uses this
+    /// to address a baseline build's entries (written under that build's
+    /// [`build_fingerprint`]) from the candidate binary.
+    #[must_use]
+    pub fn with_fingerprint(mut self, label: &str) -> Self {
+        self.fingerprint = label.to_owned();
+        self
+    }
+
+    /// The fingerprint stamped into (and required of) entries.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 pub mod cache;
+pub mod diff;
 mod experiment;
 pub mod figures;
 pub mod json;
@@ -49,6 +50,10 @@ pub mod sweep;
 mod table;
 
 pub use cache::{CacheLookup, CacheStats, ExperimentCache};
+pub use diff::{
+    bootstrap_ci, golden_cells, BootstrapCi, ComponentDelta, DiffEngine, DiffOptions, DiffSide,
+    RegressionReport,
+};
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
 pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};

@@ -14,11 +14,13 @@
 
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
-use vmprobe_power::FaultPlan;
+use vmprobe_power::{EnergyPerturbation, FaultPlan};
 use vmprobe_workloads::InputScale;
 
 use crate::json::JsonObj;
-use crate::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
+use crate::{
+    DiffOptions, ExperimentConfig, ExperimentError, RegressionReport, RunSummary, VmChoice,
+};
 
 /// Maximum JSON nesting depth a request may use.
 const MAX_DEPTH: usize = 32;
@@ -325,6 +327,8 @@ pub enum Request {
     Run(RunRequest),
     /// Verify a tenant-submitted program without running anything.
     Verify(VerifyRequest),
+    /// Diff one cell's per-component energy against the baseline cache.
+    Diff(DiffRequest),
     /// Report queue, tenant and quarantine state.
     Status,
     /// Return the Prometheus text dump.
@@ -357,6 +361,32 @@ pub struct VerifyRequest {
     pub program: String,
 }
 
+/// Cap on the `replicates` a diff request may ask for: the diff runs
+/// inline on the connection's reader thread, so the ensemble must stay
+/// small enough not to starve that tenant's own request stream.
+pub const MAX_DIFF_REPLICATES: u64 = 16;
+/// Cap on a diff request's bootstrap resamples (CPU-bound, reader thread).
+pub const MAX_DIFF_RESAMPLES: u64 = 2000;
+
+/// One tenant-submitted regression-gate request: the cell named by the
+/// same fields as a [`RunRequest`], diffed against the daemon's shared
+/// cache under this build's fingerprint, optionally with a candidate-side
+/// perturbation. Executed inline like `verify` — no pool slot, no
+/// quarantine accounting.
+#[derive(Debug, Clone)]
+pub struct DiffRequest {
+    /// Client-chosen request id, echoed on the response line.
+    pub id: String,
+    /// Tenant name (admission envelope identity).
+    pub tenant: String,
+    /// The cell to diff.
+    pub config: ExperimentConfig,
+    /// Statistical knobs (bounded at parse time).
+    pub options: DiffOptions,
+    /// Candidate-side perturbation (identity when the request omits it).
+    pub perturb: EnergyPerturbation,
+}
+
 /// Parse one request line. Errors carry the taxonomy code to respond with.
 pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
     if line.len() > MAX_LINE_BYTES {
@@ -376,6 +406,7 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
         "shutdown" => Ok(Request::Shutdown),
         "run" => parse_run(&v).map(Request::Run),
         "verify" => parse_verify(&v).map(Request::Verify),
+        "diff" => parse_diff(&v).map(Request::Diff),
         other => Err((ErrorCode::BadRequest, format!("unknown op '{other}'"))),
     }
 }
@@ -475,6 +506,62 @@ fn parse_run(v: &JsonValue) -> Result<RunRequest, (ErrorCode, String)> {
     })
 }
 
+fn parse_diff(v: &JsonValue) -> Result<DiffRequest, (ErrorCode, String)> {
+    let bad = |msg: String| (ErrorCode::BadRequest, msg);
+    if v.get("faults").is_some() {
+        return Err(bad(
+            "diff requests take no 'faults' (the seed ensemble injects its own noise)".into(),
+        ));
+    }
+    // A diff names its cell with exactly the run-request vocabulary
+    // (benchmark/collector/heap_mb/platform/scale), so the cell fields are
+    // parsed by the same code path; 'seed' seeds the diff, not a fault plan.
+    let run = parse_run(v)?;
+    let mut options = DiffOptions {
+        replicates: 4,
+        resamples: 100,
+        ..DiffOptions::default()
+    };
+    if let Some(plan) = run.plan {
+        options.seed = plan.seed;
+    }
+    let bounded = |key: &str, lo: u64, hi: u64| -> Result<Option<u64>, (ErrorCode, String)> {
+        match v.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(n) => n
+                .as_u64()
+                .filter(|x| (lo..=hi).contains(x))
+                .map(Some)
+                .ok_or_else(|| bad(format!("'{key}' must be an integer in [{lo}, {hi}]"))),
+        }
+    };
+    if let Some(r) = bounded("replicates", 1, MAX_DIFF_REPLICATES)? {
+        options.replicates = r as usize;
+    }
+    if let Some(r) = bounded("resamples", 1, MAX_DIFF_RESAMPLES)? {
+        options.resamples = r as u32;
+    }
+    match v.get("confidence") {
+        None | Some(JsonValue::Null) => {}
+        Some(JsonValue::Num(c)) if *c > 0.0 && *c < 1.0 => options.confidence = *c,
+        Some(_) => return Err(bad("'confidence' must be a number in (0, 1)".into())),
+    }
+    let perturb = match v.get("perturb") {
+        None | Some(JsonValue::Null) => EnergyPerturbation::none(),
+        Some(JsonValue::Str(spec)) => {
+            EnergyPerturbation::parse(spec).map_err(|e| bad(e.to_string()))?
+        }
+        Some(_) => return Err(bad("'perturb' must be a spec string".into())),
+    };
+    Ok(DiffRequest {
+        id: run.id,
+        tenant: run.tenant,
+        config: run.config,
+        options,
+        perturb,
+    })
+}
+
 /// Render an error response line (no trailing newline).
 pub fn error_line(id: Option<&str>, code: ErrorCode, message: &str) -> String {
     let mut o = JsonObj::new();
@@ -534,6 +621,19 @@ pub fn result_line(id: &str, summary: &RunSummary) -> String {
         .u64("allocations", summary.vm.allocations)
         .u64("fault_samples_dropped", r.faults.samples_dropped)
         .u64("fault_injected_oom", r.faults.injected_oom);
+    o.finish()
+}
+
+/// Render the success response for a `diff` request: the full
+/// [`RegressionReport`] JSON nested under `report`, with the gate verdict
+/// hoisted to a top-level `clean` flag.
+pub fn diff_line(id: &str, report: &RegressionReport) -> String {
+    let mut o = JsonObj::new();
+    o.bool("ok", true)
+        .str("kind", "diff")
+        .str("id", id)
+        .bool("clean", report.clean())
+        .raw("report", &report.to_json());
     o.finish()
 }
 
@@ -660,6 +760,37 @@ mod tests {
         for (line, code) in cases {
             let err = parse_request(line).expect_err(line);
             assert_eq!(err.0, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn parses_a_diff_request_with_bounds() {
+        let req = parse_request(
+            r#"{"op":"diff","id":"d1","tenant":"alice","benchmark":"_209_db","scale":"s10","replicates":3,"resamples":64,"confidence":0.95,"seed":7,"perturb":"gc=+5%"}"#,
+        )
+        .unwrap();
+        let Request::Diff(diff) = req else {
+            panic!("expected diff")
+        };
+        assert_eq!(diff.id, "d1");
+        assert_eq!(diff.config.benchmark, "_209_db");
+        assert_eq!(diff.config.scale, InputScale::Reduced);
+        assert_eq!(diff.options.replicates, 3);
+        assert_eq!(diff.options.resamples, 64);
+        assert_eq!(diff.options.confidence, 0.95);
+        assert_eq!(diff.options.seed, 7);
+        assert!(!diff.perturb.is_none());
+
+        for bad in [
+            // replicates over the inline-execution cap
+            r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","replicates":17}"#,
+            r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","resamples":0}"#,
+            r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","confidence":1.5}"#,
+            r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","perturb":"warp=+5%"}"#,
+            r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","faults":"noise=0.1"}"#,
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            assert_eq!(err.0, ErrorCode::BadRequest, "{bad}");
         }
     }
 

@@ -254,6 +254,57 @@ fn handle_line(line: &str, outbox: &Arc<Outbox>, shared: &ServeShared) {
                 }
             }
         }
+        Request::Diff(diff) => {
+            // Inline like `verify`, but it does execute experiments, so it
+            // passes the same admission gates as a run: resource envelope
+            // first, then the memoized benchmark verification. No pool
+            // slot and no quarantine accounting — the ensemble is bounded
+            // at parse time and failures are typed back to the tenant.
+            if let Err((code, msg)) = shared.envelope.admit(&diff.config) {
+                shared.telemetry.count(CounterId::ServeRejectedLimits, 1);
+                outbox.push_must(protocol::error_line(Some(&diff.id), code, &msg));
+                return;
+            }
+            let Some(bench) = vmprobe_workloads::benchmark(&diff.config.benchmark) else {
+                outbox.push_must(protocol::error_line(
+                    Some(&diff.id),
+                    ErrorCode::BadRequest,
+                    &format!("unknown benchmark '{}'", diff.config.benchmark),
+                ));
+                return;
+            };
+            if let Err(reason) = shared.verify_benchmark(&bench, diff.config.scale) {
+                shared.telemetry.count(CounterId::ServeVerifyRejected, 1);
+                outbox.push_must(protocol::error_line(
+                    Some(&diff.id),
+                    ErrorCode::VerifyRejected,
+                    &reason,
+                ));
+                return;
+            }
+            shared.telemetry.count(CounterId::ServeRequests, 1);
+            let label = crate::cache::build_fingerprint();
+            let mut side = crate::diff::DiffSide::new(&label);
+            if let Some(cache) = &shared.cache {
+                side = side.with_cache(Arc::clone(cache));
+            }
+            let engine = crate::diff::DiffEngine::new(diff.options, side.clone(), side)
+                .perturb(diff.perturb)
+                .with_telemetry(shared.telemetry.clone());
+            match engine.run(std::slice::from_ref(&diff.config)) {
+                Ok(report) => {
+                    shared.telemetry.count(CounterId::ServeResults, 1);
+                    outbox.push_must(protocol::diff_line(&diff.id, &report));
+                }
+                Err(reason) => {
+                    outbox.push_must(protocol::error_line(
+                        Some(&diff.id),
+                        ErrorCode::VmFault,
+                        &reason,
+                    ));
+                }
+            }
+        }
         Request::Run(run) => {
             if let Err((code, msg)) = shared.envelope.admit(&run.config) {
                 shared.telemetry.count(CounterId::ServeRejectedLimits, 1);

@@ -56,6 +56,7 @@ mod daq;
 mod dvfs;
 mod model;
 mod perfmon;
+mod perturb;
 mod port;
 mod thermal;
 mod units;
@@ -67,6 +68,7 @@ pub use daq::{ComponentPower, Daq, DaqReport, PowerSample, DAQ_PERIOD_S};
 pub use dvfs::DvfsPoint;
 pub use model::PowerModel;
 pub use perfmon::{PerfMonitor, PerfRecord};
+pub use perturb::{perturbed_component_energy, EnergyPerturbation, PerturbSpecError};
 pub use port::ComponentPort;
 pub use thermal::{ThermalConfig, ThermalSim, ThermalState};
 pub use units::{Celsius, EnergyDelay, Joules, Seconds, Watts};

@@ -1,0 +1,189 @@
+//! Per-component energy perturbations and sample extraction for the
+//! energy-regression gate.
+//!
+//! `vmprobe-diff` compares two builds of the power stack. In a real
+//! deployment the candidate side is simply a different binary; in tests and
+//! CI we *simulate* a changed build by scaling individual components'
+//! measured energy by known factors (e.g. "+5% GC"). The scaling is applied
+//! at **sample extraction** time — cached [`Report`]s stay raw, so a
+//! perturbed diff reuses the same sweep results as a clean one.
+
+use std::fmt;
+
+use crate::{ComponentId, Report};
+
+/// Error from [`EnergyPerturbation::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerturbSpecError(String);
+
+impl fmt::Display for PerturbSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad perturbation spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for PerturbSpecError {}
+
+/// A set of multiplicative per-component energy scale factors.
+///
+/// Parsed from specs like `"gc=+5%,jit=-1.5%"`. Components not named keep a
+/// factor of exactly `1.0`. The spec keys are lowercase short names:
+/// `app`, `gc`, `cl`, `base`, `opt`, `jit`, `sched`, `ctrl`, `idle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyPerturbation {
+    factors: [f64; ComponentId::ALL.len()],
+}
+
+impl Default for EnergyPerturbation {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Spec key for a component, or `None` for components that cannot be
+/// perturbed (the `Spurious` attribution bucket).
+fn spec_key(c: ComponentId) -> Option<&'static str> {
+    match c {
+        ComponentId::Application => Some("app"),
+        ComponentId::Gc => Some("gc"),
+        ComponentId::ClassLoader => Some("cl"),
+        ComponentId::BaseCompiler => Some("base"),
+        ComponentId::OptCompiler => Some("opt"),
+        ComponentId::JitCompiler => Some("jit"),
+        ComponentId::Scheduler => Some("sched"),
+        ComponentId::Controller => Some("ctrl"),
+        ComponentId::Idle => Some("idle"),
+        ComponentId::Spurious => None,
+    }
+}
+
+impl EnergyPerturbation {
+    /// The identity perturbation: every factor is `1.0`.
+    pub fn none() -> Self {
+        Self {
+            factors: [1.0; ComponentId::ALL.len()],
+        }
+    }
+
+    /// True when every factor is exactly `1.0`.
+    pub fn is_none(&self) -> bool {
+        self.factors.iter().all(|&f| f == 1.0)
+    }
+
+    /// Parse a comma-separated spec such as `"gc=+5%,jit=-1.5%"`.
+    ///
+    /// Each entry is `<component>=<signed percent>%`; the resulting factor is
+    /// `1 + percent/100` and must stay positive. An empty spec parses to
+    /// [`EnergyPerturbation::none`].
+    pub fn parse(spec: &str) -> Result<Self, PerturbSpecError> {
+        let mut p = Self::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| PerturbSpecError(format!("`{entry}` is not `component=±N%`")))?;
+            let c = ComponentId::ALL
+                .into_iter()
+                .find(|&c| spec_key(c) == Some(key.trim()))
+                .ok_or_else(|| PerturbSpecError(format!("unknown component `{key}`")))?;
+            let value = value.trim();
+            let percent = value
+                .strip_suffix('%')
+                .ok_or_else(|| PerturbSpecError(format!("`{value}` lacks a `%` suffix")))?;
+            let percent: f64 = percent
+                .trim()
+                .parse()
+                .map_err(|_| PerturbSpecError(format!("`{value}` is not a percentage")))?;
+            let factor = 1.0 + percent / 100.0;
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(PerturbSpecError(format!("`{entry}` scales below zero")));
+            }
+            p.factors[c.index()] = factor;
+        }
+        Ok(p)
+    }
+
+    /// The multiplicative factor applied to `c`'s energy.
+    pub fn factor(&self, c: ComponentId) -> f64 {
+        self.factors[c.index()]
+    }
+}
+
+impl fmt::Display for EnergyPerturbation {
+    /// Canonical spec form: perturbed components in [`ComponentId::ALL`]
+    /// order, each as `<key>=<signed percent>%`. Round-trips through
+    /// [`EnergyPerturbation::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in ComponentId::ALL {
+            let factor = self.factors[c.index()];
+            if factor == 1.0 {
+                continue;
+            }
+            let Some(key) = spec_key(c) else { continue };
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            // `1 + pct/100` then `(factor - 1) * 100` picks up one ulp of
+            // noise (1.05 → 5.000000000000004); snapping to nano-percent
+            // granularity restores the spec the factor came from.
+            let percent = ((factor - 1.0) * 100.0 * 1e9).round() / 1e9;
+            write!(f, "{key}={percent:+}%")?;
+        }
+        Ok(())
+    }
+}
+
+/// Total (CPU + DRAM) energy attributed to `c` in `report`, scaled by the
+/// perturbation's factor for `c`. Components the run never touched yield
+/// `0.0`.
+///
+/// This is the sample the diff engine's bootstrap resampler consumes: one
+/// value per (run, component), with the candidate side's perturbation
+/// standing in for a changed build.
+pub fn perturbed_component_energy(report: &Report, c: ComponentId, p: &EnergyPerturbation) -> f64 {
+    report
+        .component(c)
+        .map_or(0.0, |prof| prof.energy.joules() + prof.mem_energy.joules())
+        * p.factor(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        let p = EnergyPerturbation::parse("gc=+5%, jit=-1.5%").unwrap();
+        assert_eq!(p.factor(ComponentId::Gc), 1.05);
+        assert_eq!(p.factor(ComponentId::JitCompiler), 1.0 - 0.015);
+        assert_eq!(p.factor(ComponentId::Application), 1.0);
+        let canon = p.to_string();
+        assert_eq!(canon, "gc=+5%,jit=-1.5%");
+        assert_eq!(EnergyPerturbation::parse(&canon).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_spec_is_identity() {
+        let p = EnergyPerturbation::parse("").unwrap();
+        assert!(p.is_none());
+        assert_eq!(p.to_string(), "");
+        assert_eq!(p, EnergyPerturbation::none());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(EnergyPerturbation::parse("gc").is_err());
+        assert!(EnergyPerturbation::parse("turbo=+5%").is_err());
+        assert!(EnergyPerturbation::parse("gc=5").is_err(), "missing %");
+        assert!(EnergyPerturbation::parse("gc=zap%").is_err());
+        assert!(
+            EnergyPerturbation::parse("gc=-150%").is_err(),
+            "negative energy"
+        );
+        assert!(
+            EnergyPerturbation::parse("spurious=+5%").is_err(),
+            "spurious is an attribution bucket, not a perturbable component"
+        );
+    }
+}

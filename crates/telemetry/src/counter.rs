@@ -69,11 +69,21 @@ pub enum CounterId {
     /// Tenant programs rejected by the admission-time bytecode verifier
     /// (explicit `verify` requests and memoized benchmark checks).
     ServeVerifyRejected,
+    /// Ensemble sweeps executed by the diff engine (one per distinct
+    /// fingerprint side; a self-diff counts one).
+    DiffSweeps,
+    /// Scenario cells compared by the diff engine.
+    DiffCellsCompared,
+    /// Per-component comparisons flagged as regressions (candidate CI
+    /// strictly above baseline CI and shift beyond the floor).
+    DiffRegressions,
+    /// Bootstrap resample draws performed by the diff engine.
+    DiffResamples,
 }
 
 impl CounterId {
     /// All counters, in export order.
-    pub const ALL: [CounterId; 28] = [
+    pub const ALL: [CounterId; 32] = [
         CounterId::CellsExecuted,
         CounterId::CellsFromCache,
         CounterId::CellsDedupedInBatch,
@@ -102,6 +112,10 @@ impl CounterId {
         CounterId::ServeQuarantineReleased,
         CounterId::ServeDroppedLines,
         CounterId::ServeVerifyRejected,
+        CounterId::DiffSweeps,
+        CounterId::DiffCellsCompared,
+        CounterId::DiffRegressions,
+        CounterId::DiffResamples,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -135,6 +149,10 @@ impl CounterId {
             CounterId::ServeQuarantineReleased => "serve_quarantine_released",
             CounterId::ServeDroppedLines => "serve_dropped_lines",
             CounterId::ServeVerifyRejected => "serve_verify_rejected",
+            CounterId::DiffSweeps => "diff_sweeps",
+            CounterId::DiffCellsCompared => "diff_cells_compared",
+            CounterId::DiffRegressions => "diff_regressions",
+            CounterId::DiffResamples => "diff_resamples",
         }
     }
 

@@ -19,15 +19,19 @@ pub enum HistId {
     /// Admission-queue depth observed by the serving daemon at each
     /// admission (traffic- and scheduling-dependent).
     ServeQueueDepth,
+    /// Absolute relative energy shift per diff comparison, in parts per
+    /// million (deterministic: one observation per (cell, component)).
+    DiffShiftPpm,
 }
 
 impl HistId {
     /// All histograms, in export order.
-    pub const ALL: [HistId; 4] = [
+    pub const ALL: [HistId; 5] = [
         HistId::CellVirtualUs,
         HistId::CellHostUs,
         HistId::CellSpans,
         HistId::ServeQueueDepth,
+        HistId::DiffShiftPpm,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -37,6 +41,7 @@ impl HistId {
             HistId::CellHostUs => "cell_host_us",
             HistId::CellSpans => "cell_spans",
             HistId::ServeQueueDepth => "serve_queue_depth",
+            HistId::DiffShiftPpm => "diff_shift_ppm",
         }
     }
 
