@@ -455,6 +455,7 @@ mod tests {
                     trace_power: false,
                     record_spans: false,
                     verify: true,
+                    probe: vmprobe::ProbeSpec::default(),
                 });
             }
         }

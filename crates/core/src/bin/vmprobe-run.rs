@@ -31,7 +31,17 @@
 //!   --telemetry-overhead  run uninstrumented first, then instrumented, and
 //!                       report the telemetry tax as a percentage (timed
 //!                       passes always run quiet so --verbose narration is
-//!                       never billed as tax)
+//!                       never billed as tax), split into a host_tax row
+//!                       (wall-clock recording cost) and a probe_tax row
+//!                       (simulated cycles a charged probe would cost)
+//!   --observe-cost      observer-effect sweep: run every golden cell
+//!                       transparent vs non-transparent across the probe
+//!                       period grid and print the figure set plus a
+//!                       recommendation table (--report-json then carries
+//!                       the observe report instead of the runner report)
+//!   --probe-period <g>  period grid for --observe-cost: comma-separated
+//!                       periods (ns/us/ms suffix) or decade ranges like
+//!                       4us..4ms (default)
 //!   --verbose           progress logs while running and an end-of-run
 //!                       telemetry summary, both on stderr
 //! ```
@@ -42,7 +52,8 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use vmprobe::{
-    default_jobs, figures, ExperimentCache, ExperimentConfig, FaultPlan, NoopSink, Runner, Sink,
+    default_jobs, figures, golden_cells, parse_period_grid, CounterId, ExperimentCache,
+    ExperimentConfig, FaultPlan, HistId, NoopSink, ObserveEngine, ProbeSpec, Runner, Sink,
     StderrSink, Telemetry, VmChoice,
 };
 use vmprobe_heap::CollectorKind;
@@ -64,7 +75,8 @@ fn usage() -> ExitCode {
          [--verbose]\n\
          \x20      [--cache-dir <path>] [--no-cache] [--no-verify] [--resume]\n\
          \x20  or: vmprobe-run <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|t1..t5|all> \
-         [flags]"
+         [flags]\n\
+         \x20  or: vmprobe-run --observe-cost [--probe-period <grid>] [flags]"
     );
     eprintln!("fault spec keys: drop dup noise wrap32 glitch drift oom@N budget seed");
     eprintln!("benchmarks:");
@@ -96,6 +108,8 @@ struct Cli {
     no_verify: bool,
     resume: bool,
     telemetry_overhead: bool,
+    observe_cost: bool,
+    probe_period: Option<String>,
     verbose: bool,
 }
 
@@ -177,7 +191,8 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
             };
             // Boolean flags: never consume the next argument.
             match name.as_str() {
-                "telemetry-overhead" | "verbose" | "no-cache" | "no-verify" | "resume" => {
+                "telemetry-overhead" | "observe-cost" | "verbose" | "no-cache" | "no-verify"
+                | "resume" => {
                     if inline.is_some() {
                         return ParseOutcome::Err(format!("--{name} takes no value"));
                     }
@@ -186,6 +201,7 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                         "no-cache" => cli.no_cache = true,
                         "no-verify" => cli.no_verify = true,
                         "resume" => cli.resume = true,
+                        "observe-cost" => cli.observe_cost = true,
                         _ => cli.telemetry_overhead = true,
                     }
                     continue;
@@ -225,6 +241,7 @@ fn parse_args(args: Vec<String>) -> ParseOutcome {
                 "trace-out" => cli.trace_out = Some(value),
                 "metrics-out" => cli.metrics_out = Some(value),
                 "cache-dir" => cli.cache_dir = Some(value),
+                "probe-period" => cli.probe_period = Some(value),
                 other => return ParseOutcome::Err(format!("unknown flag --{other}")),
             }
         } else {
@@ -262,9 +279,12 @@ fn make_runner(
 /// The `--resume` accounting line. Stderr only: cached and cold runs must
 /// produce byte-identical stdout.
 fn print_resume_summary(runner: &Runner) {
-    let Some(cache) = runner.cache() else {
-        return;
-    };
+    if let Some(cache) = runner.cache() {
+        print_resume_cache(cache);
+    }
+}
+
+fn print_resume_cache(cache: &ExperimentCache) {
     let s = cache.stats();
     eprintln!(
         "resume: {} cells restored from {}, {} recomputed ({} stored, {} corrupt entries replaced)",
@@ -332,6 +352,64 @@ fn print_overhead(bare: Duration, instrumented: Duration) {
     );
 }
 
+/// The DAQ period the `--telemetry-overhead` probe-tax pass charges at:
+/// the paper's stock 40 µs rig, made non-transparent.
+const PROBE_TAX_SPEC: ProbeSpec = ProbeSpec {
+    daq_period_ns: 40_000,
+    nontransparent: true,
+};
+
+/// Host tax in parts per million of the bare wall time (0 when the bare
+/// side measured nothing).
+fn host_tax_ppm(bare: Duration, instrumented: Duration) -> u64 {
+    let b = bare.as_secs_f64();
+    if b <= 0.0 {
+        return 0;
+    }
+    let ppm = (instrumented.as_secs_f64() - b) / b * 1e6;
+    ppm.max(0.0).round() as u64
+}
+
+/// Probe tax in parts per million of the transparent simulated time
+/// (deterministic: both sides are virtual durations).
+fn probe_tax_ppm(transparent_us: u64, probed_us: u64) -> u64 {
+    if transparent_us == 0 {
+        return 0;
+    }
+    (probed_us.saturating_sub(transparent_us)) * 1_000_000 / transparent_us
+}
+
+/// Total simulated cell time a hub observed, in virtual microseconds.
+fn virtual_us(telemetry: &Telemetry) -> u64 {
+    telemetry
+        .snapshot()
+        .hists
+        .iter()
+        .find(|(id, _)| *id == HistId::CellVirtualUs)
+        .map_or(0, |(_, h)| h.sum())
+}
+
+/// Stamp the two tax counters on the hub (must happen before the
+/// Prometheus dump is written) so they land as `host_tax_ppm` /
+/// `probe_tax_ppm`.
+fn record_tax(telemetry: &Telemetry, host_ppm: u64, probe_ppm: u64) {
+    telemetry.count(CounterId::HostTaxPpm, host_ppm);
+    telemetry.count(CounterId::ProbeTaxPpm, probe_ppm);
+}
+
+/// The satellite split under the headline tax line: what the *host* pays
+/// to record telemetry (wall clock, moves with the machine) vs what the
+/// *simulated system* would pay if the probes were real (deterministic).
+fn print_tax_split(host_ppm: u64, probe_ppm: u64) {
+    println!(
+        "  host_tax : {host_ppm} ppm of bare wall time (recording cost; host-timing dependent)"
+    );
+    println!(
+        "  probe_tax: {probe_ppm} ppm extra simulated time under a charged {} probe (deterministic)",
+        vmprobe::period_label(PROBE_TAX_SPEC.daq_period_ns)
+    );
+}
+
 /// Render the requested paper artifacts to one string, stopping at the
 /// first failure.
 fn render_artifacts(artifacts: &[String], runner: &mut Runner) -> Result<String, String> {
@@ -365,6 +443,67 @@ fn render_artifacts(artifacts: &[String], runner: &mut Runner) -> Result<String,
         }
     }
     Ok(out)
+}
+
+/// Default probe-period grid for `--observe-cost`: the paper's 40 µs rig
+/// bracketed by a decade below and two above.
+const DEFAULT_OBSERVE_GRID: &str = "4us..4ms";
+
+/// The observer-effect sweep: every golden cell, transparent vs
+/// non-transparent, across the probe-period grid.
+fn run_observe(cli: &Cli) -> ExitCode {
+    if cli.telemetry_overhead {
+        return fail(
+            "--observe-cost cannot be combined with --telemetry-overhead: the sweep already \
+             measures measurement cost, on the simulated axis",
+        );
+    }
+    if cli.faults.is_some() || cli.seed.is_some() {
+        return fail(
+            "--observe-cost runs a clean sweep (probe cost must not be confounded with \
+             injected faults); drop --faults/--seed",
+        );
+    }
+    if !cli.positionals.is_empty() {
+        return fail(
+            "--observe-cost sweeps the golden cells; positional arguments are not accepted",
+        );
+    }
+    let grid = match parse_period_grid(cli.probe_period.as_deref().unwrap_or(DEFAULT_OBSERVE_GRID))
+    {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let cache = match cli.open_cache() {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let telemetry = cli.make_telemetry();
+    let mut engine = ObserveEngine::new(grid)
+        .jobs(cli.jobs.unwrap_or_else(default_jobs))
+        .with_telemetry(telemetry.clone());
+    if let Some(cache) = &cache {
+        engine = engine.with_cache(Arc::clone(cache));
+    }
+    let report = match engine.run(&golden_cells()) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    print!("{report}");
+    if cli.resume {
+        if let Some(cache) = &cache {
+            print_resume_cache(cache);
+        }
+    }
+    if let Some(dest) = &cli.report_json {
+        if let Err(e) = write_artifact("observe report", dest, &report.to_json()) {
+            return fail(&e);
+        }
+    }
+    if let Err(e) = write_telemetry(cli, &telemetry) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Regenerate the requested paper artifacts on the parallel sweep engine.
@@ -402,8 +541,23 @@ fn run_figures(cli: &Cli, plan: FaultPlan) -> ExitCode {
             last = Some((runner, telemetry, text));
         }
         let (runner, telemetry, text) = last.expect("at least one overhead pass");
+
+        // Satellite split: a quiet pass with the stock probe made
+        // non-transparent. Extra *simulated* time relative to the
+        // instrumented pass is the deterministic probe tax.
+        let probe_tel = Telemetry::with_sink(false, Box::new(NoopSink));
+        let mut probed = make_runner(cli, plan, probe_tel.clone(), false, None)
+            .with_probe_override(PROBE_TAX_SPEC);
+        if let Err(e) = render_artifacts(&artifacts, &mut probed) {
+            return fail(&e);
+        }
+        let host_ppm = host_tax_ppm(bare_best, inst_best);
+        let probe_ppm = probe_tax_ppm(virtual_us(&telemetry), virtual_us(&probe_tel));
+        record_tax(&telemetry, host_ppm, probe_ppm);
+
         print!("{text}");
         print_overhead(bare_best, inst_best);
+        print_tax_split(host_ppm, probe_ppm);
         if let Some(dest) = &cli.report_json {
             if let Err(e) = write_report(&runner, dest) {
                 return fail(&e);
@@ -447,9 +601,6 @@ fn main() -> ExitCode {
         ParseOutcome::Err(msg) => return fail(&msg),
         ParseOutcome::Help => return usage(),
     };
-    let Some(bench) = cli.positionals.first() else {
-        return usage();
-    };
     if cli.resume && cli.no_cache {
         return fail(
             "--no-cache cannot be combined with --resume: resuming is exactly the act of \
@@ -465,6 +616,15 @@ fn main() -> ExitCode {
              replace the very work the timed passes are supposed to measure",
         );
     }
+    if cli.observe_cost {
+        return run_observe(&cli);
+    }
+    if cli.probe_period.is_some() {
+        return fail("--probe-period needs --observe-cost");
+    }
+    let Some(bench) = cli.positionals.first() else {
+        return usage();
+    };
 
     let mut plan = match cli.faults.as_deref().map(FaultPlan::parse) {
         None => FaultPlan::none(),
@@ -536,6 +696,7 @@ fn main() -> ExitCode {
         trace_power: false,
         record_spans: false,
         verify: !cli.no_verify,
+        probe: Default::default(),
     };
 
     let (telemetry, runner, result, wall, bare_best);
@@ -560,8 +721,24 @@ fn main() -> ExitCode {
             last = Some((tel, r, res, elapsed));
         }
         let (tel, r, res, w) = last.expect("at least one overhead pass");
+
+        // Satellite split (see `print_tax_split`): one quiet pass with the
+        // stock probe made non-transparent; simulated durations on both
+        // sides, so the ratio is deterministic.
+        let mut probed = make_runner(&cli, plan, Telemetry::disabled(), false, None)
+            .with_probe_override(PROBE_TAX_SPEC);
+        let probe_ppm = match (&res, probed.run(&cfg)) {
+            (Ok(t), Ok(nt)) => probe_tax_ppm(
+                (t.report.duration.seconds() * 1e6) as u64,
+                (nt.report.duration.seconds() * 1e6) as u64,
+            ),
+            _ => 0,
+        };
+        let host_ppm = host_tax_ppm(bb, ib);
+        record_tax(&tel, host_ppm, probe_ppm);
+
         (telemetry, runner, result, wall) = (tel, r, res, w);
-        bare_best = Some((bb, ib));
+        bare_best = Some((bb, ib, host_ppm, probe_ppm));
     } else {
         let cache = match cli.open_cache() {
             Ok(c) => c,
@@ -674,8 +851,9 @@ fn main() -> ExitCode {
             run.report.clean_total_energy.joules(),
         );
     }
-    if let Some((bare, instrumented)) = bare_best {
+    if let Some((bare, instrumented, host_ppm, probe_ppm)) = bare_best {
         print_overhead(bare, instrumented);
+        print_tax_split(host_ppm, probe_ppm);
     }
     ExitCode::SUCCESS
 }

@@ -12,7 +12,7 @@
 //! fault-plan suffix). Entries are line-oriented text:
 //!
 //! ```text
-//! vmprobe-cache 1
+//! vmprobe-cache 2
 //! fingerprint <build fingerprint>
 //! key <escaped full key>
 //! body <line count> <fnv1a-64 checksum of the body>
@@ -45,8 +45,8 @@ use std::sync::{Arc, Mutex};
 use vmprobe_heap::{CollectorKind, GcStats};
 use vmprobe_platform::PlatformKind;
 use vmprobe_power::{
-    ComponentId, ComponentProfile, EnergyDelay, FaultStats, Joules, PowerSample, Report, Seconds,
-    Watts,
+    ComponentId, ComponentProfile, EnergyDelay, FaultStats, Joules, PowerSample, ProbeSpec,
+    ProbeStats, Report, Seconds, Watts,
 };
 use vmprobe_telemetry::{SpanTrace, VirtualSpan};
 use vmprobe_vm::{CompilerStats, VmStats};
@@ -56,7 +56,9 @@ use crate::experiment::{ExperimentConfig, RunSummary, VmChoice};
 use crate::sweep::lock_unpoisoned;
 
 /// On-disk format version; bumping it invalidates every existing entry.
-const FORMAT_VERSION: u32 = 1;
+/// v2 added the measurement-mode tokens on the `config` line and the
+/// `probe` ledger line (observer-effect mode).
+const FORMAT_VERSION: u32 = 2;
 
 /// Default bound on the in-memory layer (entries, not bytes), sized so a
 /// full figure campaign fits while a multi-day soak cannot grow without
@@ -469,7 +471,7 @@ fn encode_body(s: &RunSummary) -> Vec<String> {
     let mut b = Vec::new();
     let c = &s.config;
     b.push(format!(
-        "config {} {} {} {} {} {} {}",
+        "config {} {} {} {} {} {} {} {} {}",
         esc(&c.benchmark),
         vm_tag(&c.vm),
         c.heap_mb,
@@ -477,6 +479,8 @@ fn encode_body(s: &RunSummary) -> Vec<String> {
         scale_tag(c.scale),
         if c.trace_power { "t" } else { "f" },
         if c.record_spans { "t" } else { "f" },
+        c.probe.daq_period_ns,
+        if c.probe.nontransparent { "t" } else { "f" },
     ));
     b.push(match s.result_checksum {
         Some(v) => format!("checksum {v}"),
@@ -495,6 +499,15 @@ fn encode_body(s: &RunSummary) -> Vec<String> {
         f64_hex(r.clean_total_energy.joules()),
     ));
     b.push(encode_faults("faults", &r.faults));
+    b.push(format!(
+        "probe {} {} {} {} {} {}",
+        r.probe.port_stores,
+        r.probe.daq_samples_paid,
+        r.probe.hpm_reads_paid,
+        r.probe.cycles_paid,
+        r.probe.transition_windows,
+        f64_hex(r.probe.transition_energy_j),
+    ));
     b.push(format!("components {}", r.components.len()));
     for (id, p) in &r.components {
         b.push(format!(
@@ -648,6 +661,10 @@ fn decode_body(lines: &[&str]) -> Option<RunSummary> {
         // cannot change an accepted run's summary, so restored configs
         // always read the default.
         verify: true,
+        probe: ProbeSpec {
+            daq_period_ns: p_u64(f.next())?,
+            nontransparent: p_bool(f.next())?,
+        },
     };
 
     let mut f = fields(it.next()?, "checksum")?;
@@ -665,6 +682,15 @@ fn decode_body(lines: &[&str]) -> Option<RunSummary> {
     let edp = EnergyDelay::new(p_f64(f.next())?);
     let clean_total_energy = Joules::new(p_f64(f.next())?);
     let faults = decode_faults(fields(it.next()?, "faults")?)?;
+    let mut f = fields(it.next()?, "probe")?;
+    let probe = ProbeStats {
+        port_stores: p_u64(f.next())?,
+        daq_samples_paid: p_u64(f.next())?,
+        hpm_reads_paid: p_u64(f.next())?,
+        cycles_paid: p_u64(f.next())?,
+        transition_windows: p_u64(f.next())?,
+        transition_energy_j: p_f64(f.next())?,
+    };
 
     let mut f = fields(it.next()?, "components")?;
     let n_components = p_usize(f.next())?;
@@ -695,6 +721,7 @@ fn decode_body(lines: &[&str]) -> Option<RunSummary> {
         edp,
         clean_total_energy,
         faults,
+        probe,
     };
 
     let mut f = fields(it.next()?, "gc")?;
@@ -799,7 +826,7 @@ fn render_entry(key: &str, fingerprint: &str, summary: &RunSummary) -> String {
     let body = encode_body(summary);
     let body_text = body.join("\n");
     let mut out = String::with_capacity(body_text.len() + 128);
-    out.push_str("vmprobe-cache 1\n");
+    out.push_str(&format!("vmprobe-cache {FORMAT_VERSION}\n"));
     out.push_str("fingerprint ");
     out.push_str(&esc(fingerprint));
     out.push('\n');
@@ -819,7 +846,7 @@ fn render_entry(key: &str, fingerprint: &str, summary: &RunSummary) -> String {
 fn parse_entry(text: &str, key: &str, fingerprint: &str) -> Parsed {
     let mut lines = text.lines();
     match lines.next() {
-        Some("vmprobe-cache 1") => {}
+        Some(l) if l == format!("vmprobe-cache {FORMAT_VERSION}") => {}
         // A future (or past) format revision is a stale entry, not damage.
         Some(l) if l.starts_with("vmprobe-cache ") => return Parsed::Stale,
         _ => return Parsed::Corrupt,
@@ -918,7 +945,9 @@ mod tests {
         trace.exit(400);
         trace.finish(500);
         RunSummary {
-            config: ExperimentConfig::jikes("_213_javac", CollectorKind::GenMs, 48).with_trace(),
+            config: ExperimentConfig::jikes("_213_javac", CollectorKind::GenMs, 48)
+                .with_trace()
+                .with_probe(ProbeSpec::nontransparent_at(4_000)),
             result_checksum: Some(-12345),
             report: Report {
                 platform: PlatformKind::PentiumM,
@@ -933,6 +962,14 @@ mod tests {
                     samples_total: 9,
                     dropped_energy_j: 0.25,
                     ..FaultStats::default()
+                },
+                probe: ProbeStats {
+                    port_stores: 6,
+                    daq_samples_paid: 250,
+                    hpm_reads_paid: 2,
+                    cycles_paid: 48_000,
+                    transition_windows: 5,
+                    transition_energy_j: 1e-4,
                 },
             },
             gc: GcStats {

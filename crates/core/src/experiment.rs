@@ -6,7 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use vmprobe_heap::{CollectorKind, GcStats};
 use vmprobe_platform::PlatformKind;
-use vmprobe_power::{ComponentId, DetRng, FaultPlan, PowerSample, Report};
+use vmprobe_power::{ComponentId, DetRng, FaultPlan, PowerSample, ProbeSpec, Report};
 use vmprobe_vm::{CompilerStats, Vm, VmConfig, VmError, VmStats};
 use vmprobe_workloads::{benchmark, InputScale};
 
@@ -57,6 +57,13 @@ pub struct ExperimentConfig {
     /// [`Self::fault_key`], and it is not persisted in cache entries
     /// (restored configurations always read `true`).
     pub verify: bool,
+    /// Measurement mode: DAQ sampling period and probe transparency
+    /// (`--observe-cost`). The default is the classic free-probes rig;
+    /// any other value re-times or perturbs the measurement, so non-default
+    /// specs mark [`Self::key`] (but never [`Self::fault_key`]: observing
+    /// differently must not reseed injected-fault streams).
+    #[serde(default)]
+    pub probe: ProbeSpec,
 }
 
 impl ExperimentConfig {
@@ -71,6 +78,7 @@ impl ExperimentConfig {
             trace_power: false,
             record_spans: false,
             verify: true,
+            probe: ProbeSpec::default(),
         }
     }
 
@@ -85,6 +93,7 @@ impl ExperimentConfig {
             trace_power: false,
             record_spans: false,
             verify: true,
+            probe: ProbeSpec::default(),
         }
     }
 
@@ -100,6 +109,7 @@ impl ExperimentConfig {
             trace_power: false,
             record_spans: false,
             verify: true,
+            probe: ProbeSpec::default(),
         }
     }
 
@@ -119,6 +129,14 @@ impl ExperimentConfig {
     /// escape hatch).
     pub fn without_verify(mut self) -> Self {
         self.verify = false;
+        self
+    }
+
+    /// Select the measurement mode (observer-effect studies). Non-default
+    /// specs mark [`Self::key`], so perturbed runs never share cache
+    /// entries with the classic rig.
+    pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -156,12 +174,18 @@ impl ExperimentConfig {
 
     /// Unique cache key: [`Self::fault_key`] plus a `|spans` marker when
     /// span recording is on, so a memo never serves a span-free summary
-    /// to a span-requesting caller. Keys of span-free configurations are
-    /// bit-identical to what they were before the telemetry layer
-    /// existed.
+    /// to a span-requesting caller, plus a `|probe:…` marker for
+    /// non-default measurement modes, so perturbed summaries never shadow
+    /// the classic rig's. Keys of span-free default-probe configurations
+    /// are bit-identical to what they were before either layer existed.
     pub fn key(&self) -> String {
         let spans = if self.record_spans { "|spans" } else { "" };
-        format!("{}{}", self.fault_key(), spans)
+        let probe = if self.probe == ProbeSpec::default() {
+            String::new()
+        } else {
+            format!("|{}", self.probe.key_marker())
+        };
+        format!("{}{}{}", self.fault_key(), spans, probe)
     }
 
     fn vm_config(&self) -> VmConfig {
@@ -174,6 +198,7 @@ impl ExperimentConfig {
             .trace_power(self.trace_power)
             .record_spans(self.record_spans)
             .verify(self.verify)
+            .probe(self.probe)
     }
 
     /// Execute the experiment without fault injection.
@@ -388,6 +413,23 @@ mod tests {
         assert_eq!(bare.fault_key(), spanned.fault_key());
         let master = FaultPlan::parse("drop=0.1,seed=7").unwrap();
         assert_eq!(bare.derive_plan(master), spanned.derive_plan(master));
+    }
+
+    #[test]
+    fn probe_mode_marks_key_but_never_fault_streams() {
+        let bare = ExperimentConfig::jikes("_209_db", CollectorKind::SemiSpace, 32);
+        let fine = bare.clone().with_probe(ProbeSpec::transparent_at(4_000));
+        let paid = bare
+            .clone()
+            .with_probe(ProbeSpec::nontransparent_at(40_000));
+        assert!(!bare.key().contains("probe"), "default keys unchanged");
+        assert_ne!(bare.key(), fine.key());
+        assert_ne!(bare.key(), paid.key());
+        assert_ne!(fine.key(), paid.key());
+        // Observing differently must not reseed injected-fault streams.
+        assert_eq!(bare.fault_key(), paid.fault_key());
+        let master = FaultPlan::parse("drop=0.1,seed=7").unwrap();
+        assert_eq!(bare.derive_plan(master), paid.derive_plan(master));
     }
 
     #[test]

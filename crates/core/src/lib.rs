@@ -42,6 +42,7 @@ pub mod diff;
 mod experiment;
 pub mod figures;
 pub mod json;
+pub mod observe;
 mod runner;
 mod scale;
 #[cfg(unix)]
@@ -55,11 +56,15 @@ pub use diff::{
     RegressionReport,
 };
 pub use experiment::{ExperimentConfig, ExperimentError, RunSummary, VmChoice};
+pub use observe::{
+    parse_period_grid, period_label, ObserveEngine, ObservePoint, ObserveReport, PeriodSummary,
+    MAX_OBSERVE_PERIODS,
+};
 pub use runner::{FailedCell, QuarantinedConfig, RunReport, Runner, SupervisedRunner};
 pub use scale::{heap_bytes, P6_HEAPS_MB, PXA_HEAPS_MB, SIM_SCALE};
 pub use sweep::{default_jobs, ShardedMemo, SweepError, WorkStealingPool};
 pub use table::Table;
-pub use vmprobe_power::{FaultPlan, FaultSpecError, FaultStats};
+pub use vmprobe_power::{FaultPlan, FaultSpecError, FaultStats, ProbeSpec, ProbeStats};
 pub use vmprobe_telemetry::{
     validate_json, CounterId, HistId, NoopSink, Sink, Snapshot, SpanTrace, StderrSink, Telemetry,
     SCHEMA_VERSION,

@@ -38,7 +38,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use vmprobe_power::{FaultPlan, FaultStats};
+use vmprobe_power::{FaultPlan, FaultStats, ProbeSpec};
 use vmprobe_telemetry::{CounterId, HistId, HostSpanGuard, StderrSink, Telemetry};
 use vmprobe_vm::VmError;
 use vmprobe_workloads::InputScale;
@@ -248,6 +248,7 @@ pub struct SupervisedRunner {
     overrides: HashMap<String, FaultPlan>,
     max_retries: u32,
     scale_override: Option<InputScale>,
+    probe_override: Option<ProbeSpec>,
     report: RunReport,
     seen_failed_cells: HashSet<(String, u32, String)>,
     verbose: bool,
@@ -380,6 +381,16 @@ impl SupervisedRunner {
         self
     }
 
+    /// Force every configuration onto the given measurement-probe spec
+    /// (the observer-effect sweep and the `--telemetry-overhead` probe-tax
+    /// pass set this instead of rewriting each submitted config). Probed
+    /// and unprobed variants of the same cell keep distinct memo/cache
+    /// keys, so an override never contaminates transparent results.
+    pub fn with_probe_override(mut self, probe: ProbeSpec) -> Self {
+        self.probe_override = Some(probe);
+        self
+    }
+
     /// The fault plan that would apply to `benchmark` (before per-cell
     /// seed derivation).
     pub fn effective_plan(&self, benchmark: &str) -> FaultPlan {
@@ -396,6 +407,9 @@ impl SupervisedRunner {
         let mut c = config.clone();
         if let Some(scale) = self.scale_override {
             c.scale = scale;
+        }
+        if let Some(probe) = self.probe_override {
+            c.probe = probe;
         }
         if self.telemetry.spans_enabled() {
             c.record_spans = true;
@@ -593,6 +607,19 @@ impl SupervisedRunner {
                             HistId::CellVirtualUs,
                             (summary.report.duration.seconds() * 1e6) as u64,
                         );
+                        self.telemetry.count(
+                            CounterId::CellEnergyUj,
+                            (summary.report.total_energy.joules() * 1e6) as u64,
+                        );
+                        let probe = &summary.report.probe;
+                        self.telemetry
+                            .count(CounterId::ProbePortStores, probe.port_stores);
+                        self.telemetry
+                            .count(CounterId::ProbeDaqSamples, probe.daq_samples_paid);
+                        self.telemetry
+                            .count(CounterId::ProbeHpmReads, probe.hpm_reads_paid);
+                        self.telemetry
+                            .count(CounterId::ProbeCyclesPaid, probe.cycles_paid);
                         if let Some(trace) = &summary.spans {
                             // Appended on the calling thread in submission
                             // order: the virtual span stream is therefore
@@ -990,6 +1017,28 @@ mod tests {
             .expect_err("panicked");
         assert!(err.to_string().contains("panicked: worker died"));
         assert!(matches!(err, ExperimentError::Panicked { .. }));
+    }
+
+    #[test]
+    fn probe_override_pays_costs_without_sharing_cells() {
+        let cfg = quick("search");
+        let mut bare = Runner::new();
+        let clean = bare.run(&cfg).expect("runs");
+        assert_eq!(clean.report.probe.cycles_paid, 0);
+
+        let mut probed = Runner::new().with_probe_override(ProbeSpec::nontransparent_at(4_000));
+        let paid = probed.run(&cfg).expect("runs probed");
+        assert!(paid.report.probe.cycles_paid > 0, "probe charges cycles");
+        assert!(
+            paid.report.total_energy.joules() > clean.report.total_energy.joules(),
+            "observer effect shows up in total energy"
+        );
+        // The override rewrites the effective config, so requesting the
+        // probed config directly hits the same memo cell.
+        let direct = cfg.clone().with_probe(ProbeSpec::nontransparent_at(4_000));
+        let again = probed.run(&direct).expect("cached");
+        assert!(Arc::ptr_eq(&paid, &again));
+        assert_eq!(probed.runs_executed(), 1);
     }
 
     #[test]

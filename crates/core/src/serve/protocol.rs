@@ -19,7 +19,8 @@ use vmprobe_workloads::InputScale;
 
 use crate::json::JsonObj;
 use crate::{
-    DiffOptions, ExperimentConfig, ExperimentError, RegressionReport, RunSummary, VmChoice,
+    DiffOptions, ExperimentConfig, ExperimentError, ObserveReport, RegressionReport, RunSummary,
+    VmChoice,
 };
 
 /// Maximum JSON nesting depth a request may use.
@@ -329,6 +330,9 @@ pub enum Request {
     Verify(VerifyRequest),
     /// Diff one cell's per-component energy against the baseline cache.
     Diff(DiffRequest),
+    /// Observer-effect sweep over one cell: transparent vs non-transparent
+    /// across a probe-period grid.
+    Observe(ObserveRequest),
     /// Report queue, tenant and quarantine state.
     Status,
     /// Return the Prometheus text dump.
@@ -387,6 +391,28 @@ pub struct DiffRequest {
     pub perturb: EnergyPerturbation,
 }
 
+/// Cap on the probe-period grid an `observe` request may name. The sweep
+/// runs inline on the reader thread at two runs per period, so the grid
+/// must stay small enough not to starve the tenant's own request stream
+/// (tighter than the engine-level [`crate::MAX_OBSERVE_PERIODS`]).
+pub const MAX_OBSERVE_REQUEST_PERIODS: usize = 4;
+
+/// One tenant-submitted observer-effect request: the cell named by the
+/// same fields as a [`RunRequest`] plus an optional `periods` grid spec.
+/// Executed inline like `diff` — no pool slot, no quarantine accounting.
+#[derive(Debug, Clone)]
+pub struct ObserveRequest {
+    /// Client-chosen request id, echoed on the response line.
+    pub id: String,
+    /// Tenant name (admission envelope identity).
+    pub tenant: String,
+    /// The cell to sweep.
+    pub config: ExperimentConfig,
+    /// Probe-period grid, ascending, in nanoseconds (bounded at parse
+    /// time).
+    pub periods: Vec<u64>,
+}
+
 /// Parse one request line. Errors carry the taxonomy code to respond with.
 pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
     if line.len() > MAX_LINE_BYTES {
@@ -407,6 +433,7 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
         "run" => parse_run(&v).map(Request::Run),
         "verify" => parse_verify(&v).map(Request::Verify),
         "diff" => parse_diff(&v).map(Request::Diff),
+        "observe" => parse_observe(&v).map(Request::Observe),
         other => Err((ErrorCode::BadRequest, format!("unknown op '{other}'"))),
     }
 }
@@ -501,6 +528,7 @@ fn parse_run(v: &JsonValue) -> Result<RunRequest, (ErrorCode, String)> {
             trace_power: false,
             record_spans: false,
             verify: true,
+            probe: vmprobe_power::ProbeSpec::default(),
         },
         plan,
     })
@@ -559,6 +587,41 @@ fn parse_diff(v: &JsonValue) -> Result<DiffRequest, (ErrorCode, String)> {
         config: run.config,
         options,
         perturb,
+    })
+}
+
+fn parse_observe(v: &JsonValue) -> Result<ObserveRequest, (ErrorCode, String)> {
+    let bad = |msg: String| (ErrorCode::BadRequest, msg);
+    if v.get("faults").is_some() || v.get("seed").is_some() {
+        return Err(bad(
+            "observe requests take no 'faults' or 'seed' (the sweep needs a clean cell)".into(),
+        ));
+    }
+    // An observe names its cell with exactly the run-request vocabulary;
+    // the only extra knob is the probe-period grid.
+    let run = parse_run(v)?;
+    let periods = match v.get("periods") {
+        None | Some(JsonValue::Null) => {
+            crate::observe::parse_period_grid("4us..4ms").expect("default observe grid must parse")
+        }
+        Some(JsonValue::Str(spec)) => crate::observe::parse_period_grid(spec)
+            .map_err(|e| bad(format!("bad 'periods': {e}")))?,
+        Some(_) => return Err(bad("'periods' must be a grid spec string".into())),
+    };
+    if periods.len() > MAX_OBSERVE_REQUEST_PERIODS {
+        return Err((
+            ErrorCode::LimitExceeded,
+            format!(
+                "observe grid has {} periods; serve caps at {MAX_OBSERVE_REQUEST_PERIODS}",
+                periods.len()
+            ),
+        ));
+    }
+    Ok(ObserveRequest {
+        id: run.id,
+        tenant: run.tenant,
+        config: run.config,
+        periods,
     })
 }
 
@@ -633,6 +696,19 @@ pub fn diff_line(id: &str, report: &RegressionReport) -> String {
         .str("kind", "diff")
         .str("id", id)
         .bool("clean", report.clean())
+        .raw("report", &report.to_json());
+    o.finish()
+}
+
+/// Render the success response for an `observe` request: the full
+/// [`ObserveReport`] JSON nested under `report`, with the recommended
+/// probe period hoisted to a top-level field.
+pub fn observe_line(id: &str, report: &ObserveReport) -> String {
+    let mut o = JsonObj::new();
+    o.bool("ok", true)
+        .str("kind", "observe")
+        .str("id", id)
+        .u64("recommended_ns", report.recommended_ns)
         .raw("report", &report.to_json());
     o.finish()
 }
@@ -788,6 +864,46 @@ mod tests {
             r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","confidence":1.5}"#,
             r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","perturb":"warp=+5%"}"#,
             r#"{"op":"diff","id":"d","tenant":"t","benchmark":"m","faults":"noise=0.1"}"#,
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            assert_eq!(err.0, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_an_observe_request_with_grid_cap() {
+        let req = parse_request(
+            r#"{"op":"observe","id":"o1","tenant":"alice","benchmark":"_209_db","scale":"s10","periods":"4us,40us"}"#,
+        )
+        .unwrap();
+        let Request::Observe(obs) = req else {
+            panic!("expected observe")
+        };
+        assert_eq!(obs.id, "o1");
+        assert_eq!(obs.config.benchmark, "_209_db");
+        assert_eq!(obs.config.scale, InputScale::Reduced);
+        assert_eq!(obs.periods, vec![4_000, 40_000]);
+
+        // The default grid is 4us..4ms — four decade points, exactly the cap.
+        let req = parse_request(r#"{"op":"observe","id":"o2","tenant":"alice","benchmark":"m"}"#)
+            .unwrap();
+        let Request::Observe(obs) = req else {
+            panic!("expected observe")
+        };
+        assert_eq!(obs.periods, vec![4_000, 40_000, 400_000, 4_000_000]);
+
+        // One period over the serve cap: typed as a limit, not a bad request.
+        let err = parse_request(
+            r#"{"op":"observe","id":"o","tenant":"t","benchmark":"m","periods":"1us,2us,3us,4us,5us"}"#,
+        )
+        .expect_err("grid over cap");
+        assert_eq!(err.0, ErrorCode::LimitExceeded);
+
+        for bad in [
+            r#"{"op":"observe","id":"o","tenant":"t","benchmark":"m","faults":"noise=0.1"}"#,
+            r#"{"op":"observe","id":"o","tenant":"t","benchmark":"m","seed":7}"#,
+            r#"{"op":"observe","id":"o","tenant":"t","benchmark":"m","periods":"0ns"}"#,
+            r#"{"op":"observe","id":"o","tenant":"t","benchmark":"m","periods":7}"#,
         ] {
             let err = parse_request(bad).expect_err(bad);
             assert_eq!(err.0, ErrorCode::BadRequest, "{bad}");

@@ -305,6 +305,54 @@ fn handle_line(line: &str, outbox: &Arc<Outbox>, shared: &ServeShared) {
                 }
             }
         }
+        Request::Observe(req) => {
+            // Inline like `diff`: executes experiments, so it passes the
+            // run-request admission gates, but the grid is hard-capped at
+            // parse time (MAX_OBSERVE_REQUEST_PERIODS) so the reader
+            // thread stays responsive. Cached cells make repeats cheap.
+            if let Err((code, msg)) = shared.envelope.admit(&req.config) {
+                shared.telemetry.count(CounterId::ServeRejectedLimits, 1);
+                outbox.push_must(protocol::error_line(Some(&req.id), code, &msg));
+                return;
+            }
+            let Some(bench) = vmprobe_workloads::benchmark(&req.config.benchmark) else {
+                outbox.push_must(protocol::error_line(
+                    Some(&req.id),
+                    ErrorCode::BadRequest,
+                    &format!("unknown benchmark '{}'", req.config.benchmark),
+                ));
+                return;
+            };
+            if let Err(reason) = shared.verify_benchmark(&bench, req.config.scale) {
+                shared.telemetry.count(CounterId::ServeVerifyRejected, 1);
+                outbox.push_must(protocol::error_line(
+                    Some(&req.id),
+                    ErrorCode::VerifyRejected,
+                    &reason,
+                ));
+                return;
+            }
+            shared.telemetry.count(CounterId::ServeRequests, 1);
+            shared.telemetry.count(CounterId::ServeObserve, 1);
+            let mut engine = crate::observe::ObserveEngine::new(req.periods.clone())
+                .with_telemetry(shared.telemetry.clone());
+            if let Some(cache) = &shared.cache {
+                engine = engine.with_cache(Arc::clone(cache));
+            }
+            match engine.run(std::slice::from_ref(&req.config)) {
+                Ok(report) => {
+                    shared.telemetry.count(CounterId::ServeResults, 1);
+                    outbox.push_must(protocol::observe_line(&req.id, &report));
+                }
+                Err(reason) => {
+                    outbox.push_must(protocol::error_line(
+                        Some(&req.id),
+                        ErrorCode::VmFault,
+                        &reason,
+                    ));
+                }
+            }
+        }
         Request::Run(run) => {
             if let Err((code, msg)) = shared.envelope.admit(&run.config) {
                 shared.telemetry.count(CounterId::ServeRejectedLimits, 1);

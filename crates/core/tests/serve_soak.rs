@@ -21,8 +21,8 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use vmprobe::serve::protocol::{result_line, JsonValue};
-use vmprobe::{ExperimentConfig, Runner, VmChoice};
+use vmprobe::serve::protocol::{observe_line, result_line, JsonValue};
+use vmprobe::{ExperimentConfig, ObserveEngine, Runner, VmChoice};
 use vmprobe_heap::CollectorKind;
 use vmprobe_workloads::InputScale;
 
@@ -134,6 +134,7 @@ fn baseline_line(id: &str, benchmark: &str, heap_mb: u32) -> String {
         trace_power: false,
         record_spans: false,
         verify: true,
+        probe: vmprobe::ProbeSpec::default(),
     };
     let summary = Runner::new().run(&cfg).expect("baseline runs");
     result_line(id, &summary)
@@ -206,6 +207,74 @@ fn healthy_results_are_byte_identical_to_batch_mode_and_sigterm_drains() {
     );
     assert!(
         metrics.contains("vmprobe_serve_results_total 3"),
+        "metrics: {metrics}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn observe_requests_run_inline_and_match_the_batch_engine() {
+    let dir = temp_dir("observe");
+    let socket = dir.join("daemon.sock");
+    let metrics = dir.join("metrics.prom");
+    let mut daemon = spawn_daemon(
+        &socket,
+        &[
+            "--jobs",
+            "2",
+            "--retries",
+            "0",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    );
+
+    let mut alice = Client::connect(&socket);
+    alice.send(
+        r#"{"op":"observe","id":"obs-1","tenant":"alice","benchmark":"moldyn","collector":"gencopy","heap_mb":32,"scale":"s10","periods":"40us,400us"}"#,
+    );
+    let (line, v) = alice.read_kind(&["observe", "error"]);
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("observe"), "{line}");
+
+    // The daemon's bytes must match the in-process engine rendered through
+    // the same canonical renderer — observe reports are deterministic.
+    let cfg = ExperimentConfig {
+        benchmark: "moldyn".to_owned(),
+        vm: VmChoice::Jikes(CollectorKind::GenCopy),
+        heap_mb: 32,
+        platform: vmprobe_platform::PlatformKind::PentiumM,
+        scale: InputScale::Reduced,
+        trace_power: false,
+        record_spans: false,
+        verify: true,
+        probe: vmprobe::ProbeSpec::default(),
+    };
+    let report = ObserveEngine::new(vec![40_000, 400_000])
+        .run(std::slice::from_ref(&cfg))
+        .expect("baseline sweep runs");
+    assert_eq!(line, observe_line("obs-1", &report));
+
+    // A grid over the serve cap is refused as a typed limit, not executed.
+    alice.send(
+        r#"{"op":"observe","id":"obs-2","tenant":"alice","benchmark":"moldyn","periods":"1us,2us,3us,4us,5us"}"#,
+    );
+    let (eline, ev) = alice.read_kind(&["error"]);
+    assert_eq!(
+        ev.get("code").and_then(JsonValue::as_str),
+        Some("limit_exceeded"),
+        "{eline}"
+    );
+
+    Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("kill runs");
+    alice.read_kind(&["bye"]);
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "graceful exit");
+    let metrics = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics.contains("vmprobe_serve_observe_total 1"),
         "metrics: {metrics}"
     );
     std::fs::remove_dir_all(&dir).ok();

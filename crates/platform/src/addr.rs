@@ -26,13 +26,27 @@ pub const CLASSFILE_BASE: Addr = 0x8000_0000;
 /// Base of the thread-stack region (operand stacks and frames).
 pub const STACK_BASE: Addr = 0xA000_0000;
 
+/// Base of the measurement-probe region: the memory-mapped component-ID
+/// register, the DAQ's ISR sample buffer and the kernel-side HPM counter
+/// file. Transparent measurement never touches this region; the
+/// non-transparent mode charges probe stores/loads here so the probes
+/// contend for the same cache hierarchy as the workload.
+pub const PROBE_BASE: Addr = 0xC000_0000;
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn regions_are_disjoint_and_ordered() {
-        let bases = [HEAP_BASE, CODE_BASE, VM_BASE, CLASSFILE_BASE, STACK_BASE];
+        let bases = [
+            HEAP_BASE,
+            CODE_BASE,
+            VM_BASE,
+            CLASSFILE_BASE,
+            STACK_BASE,
+            PROBE_BASE,
+        ];
         for w in bases.windows(2) {
             assert!(w[0] < w[1]);
             // At least 512 MB apart, far larger than any modeled region.

@@ -78,6 +78,11 @@ impl HpmSnapshot {
 /// that reads them slowly enough sees wraparound.
 pub const COUNTER_MASK_32: u64 = 0xFFFF_FFFF;
 
+/// Number of distinct counters in the [`Hpm`] counter file — the number of
+/// individual register reads a full OS-timer HPM sample performs (and, in
+/// non-transparent measurement mode, pays for).
+pub const HPM_COUNTER_COUNT: usize = 14;
+
 macro_rules! for_each_counter {
     ($m:ident) => {
         $m!(
@@ -282,6 +287,16 @@ mod tests {
         let b = unwrap.unwrap_snapshot(&mk(near + 50, 200).wrapped32());
         assert_eq!(b.delta_since(&a).instructions, 50);
         assert_eq!(unwrap.wraps_detected(), 1);
+    }
+
+    #[test]
+    fn counter_count_matches_the_counter_file() {
+        let mut n = 0;
+        macro_rules! count {
+            ($($f:ident),*) => { $(let _ = stringify!($f); n += 1;)* };
+        }
+        for_each_counter!(count);
+        assert_eq!(n, HPM_COUNTER_COUNT);
     }
 
     #[test]

@@ -36,9 +36,9 @@ mod exec;
 mod hpm;
 mod machine;
 
-pub use addr::{Addr, CLASSFILE_BASE, CODE_BASE, HEAP_BASE, STACK_BASE, VM_BASE};
+pub use addr::{Addr, CLASSFILE_BASE, CODE_BASE, HEAP_BASE, PROBE_BASE, STACK_BASE, VM_BASE};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cpu::{CpuSpec, PlatformKind};
 pub use exec::Exec;
-pub use hpm::{Hpm, HpmDelta, HpmSnapshot, HpmUnwrapper, COUNTER_MASK_32};
+pub use hpm::{Hpm, HpmDelta, HpmSnapshot, HpmUnwrapper, COUNTER_MASK_32, HPM_COUNTER_COUNT};
 pub use machine::Machine;

@@ -58,6 +58,11 @@ pub struct Report {
     /// Ledger of injected measurement faults; `faults.energy_error_bound_j()`
     /// bounds `|total_energy - clean_total_energy|`.
     pub faults: FaultStats,
+    /// Probe-cost ledger: costs charged in non-transparent measurement mode
+    /// plus the transition-window misattribution exposure (recorded in
+    /// every mode). Defaults to all-zero for reports predating the field.
+    #[serde(default)]
+    pub probe: crate::ProbeStats,
 }
 
 impl Report {
@@ -145,6 +150,14 @@ pub fn analyze(daq: &Daq, perf: &PerfMonitor, machine: &Machine) -> Report {
         edp: total_energy * duration,
         clean_total_energy: dr.clean_cpu_energy + dr.clean_mem_energy,
         faults,
+        // Transition exposure comes from the DAQ; the probe *costs* are
+        // known only to the metering adapter, which overwrites this ledger
+        // after analysis (see `Meter::probe_stats`).
+        probe: crate::ProbeStats {
+            transition_windows: dr.transition_windows,
+            transition_energy_j: dr.transition_energy_j,
+            ..crate::ProbeStats::default()
+        },
     }
 }
 

@@ -86,6 +86,14 @@ pub struct DaqReport {
     pub clean_mem_energy: Joules,
     /// Ledger of injected faults and the resulting error bound.
     pub faults: FaultStats,
+    /// Sampling windows that contained at least one component-port write
+    /// (the whole window is attributed to whoever holds the port at the
+    /// sample instant, so these windows bound the quantization error).
+    #[serde(default)]
+    pub transition_windows: u64,
+    /// Clean (CPU + DRAM) energy of those transition windows, in joules.
+    #[serde(default)]
+    pub transition_energy_j: f64,
 }
 
 impl DaqReport {
@@ -117,6 +125,9 @@ impl DaqReport {
 pub struct Daq {
     model: PowerModel,
     freq_hz: f64,
+    /// Sampling period in wall-clock seconds (the paper's 40 µs unless an
+    /// observer-effect sweep retargets it).
+    period_s: f64,
     period_cycles: u64,
     /// Exact (fractional) cycles per 40 µs window at the current clock.
     period_cycles_f: f64,
@@ -137,6 +148,13 @@ pub struct Daq {
     acc: Vec<ComponentPower>,
     trace: Option<Vec<PowerSample>>,
     faults: FaultInjector,
+    /// Component-port writes since the last committed sample. Non-zero at a
+    /// sample instant means the window contained a transition.
+    pending_port_writes: u64,
+    /// Windows that contained at least one port write.
+    transition_windows: u64,
+    /// Clean (CPU + DRAM) energy of those windows, in joules.
+    transition_energy_j: f64,
 }
 
 /// Per-DAQ fault-injection state: the plan, the derived RNG streams, the
@@ -194,6 +212,7 @@ impl Daq {
         Self {
             model,
             freq_hz,
+            period_s: DAQ_PERIOD_S,
             period_cycles,
             period_cycles_f: DAQ_PERIOD_S * freq_hz,
             carry: 0.0,
@@ -205,7 +224,31 @@ impl Daq {
             acc: vec![ComponentPower::default(); ComponentId::ALL.len()],
             trace: trace.then(Vec::new),
             faults: FaultInjector::new(FaultPlan::none()),
+            pending_port_writes: 0,
+            transition_windows: 0,
+            transition_energy_j: 0.0,
         }
+    }
+
+    /// Retarget the sampler to an explicit wall-clock period (an
+    /// observer-effect sweep point). Must be called before any work is
+    /// charged; the schedule restarts from cycle zero at the new period.
+    /// The classic rig never calls this, so 40 µs runs keep the exact
+    /// constructor-built schedule bit-for-bit.
+    #[must_use]
+    pub fn with_period(mut self, period_s: f64) -> Self {
+        debug_assert!(period_s > 0.0, "sampling period must be positive");
+        self.period_s = period_s;
+        self.period_cycles = period_cycles_at(period_s, self.freq_hz);
+        self.period_cycles_f = period_s * self.freq_hz;
+        self.carry = 0.0;
+        self.next_due = self.period_cycles;
+        self
+    }
+
+    /// The sampling period in wall-clock seconds.
+    pub fn period_s(&self) -> f64 {
+        self.period_s
     }
 
     /// Retarget the sampler to a new clock, effective at `now_cycles`.
@@ -223,8 +266,8 @@ impl Daq {
         self.time_base_s = self.wall_time_s(now_cycles);
         self.cycle_base = now_cycles;
         self.freq_hz = freq_hz;
-        self.period_cycles = period_cycles_at(DAQ_PERIOD_S, freq_hz);
-        self.period_cycles_f = DAQ_PERIOD_S * freq_hz;
+        self.period_cycles = period_cycles_at(self.period_s, freq_hz);
+        self.period_cycles_f = self.period_s * freq_hz;
         self.carry = 0.0;
         let remaining_cycles = (remaining_s * freq_hz).round() as u64;
         self.next_due = now_cycles + remaining_cycles;
@@ -253,6 +296,24 @@ impl Daq {
     /// Cycle count at which the next sample is due (for cheap polling).
     pub fn next_due_cycles(&self) -> u64 {
         self.next_due
+    }
+
+    /// Record that the component port was written. Called on *every* port
+    /// write in every mode; it mutates only DAQ-side counters (never the
+    /// machine), so transparent trajectories stay bit-identical while the
+    /// sampler learns which windows contained a transition.
+    pub fn note_port_write(&mut self) {
+        self.pending_port_writes += 1;
+    }
+
+    /// Windows that contained at least one component transition so far.
+    pub fn transition_windows(&self) -> u64 {
+        self.transition_windows
+    }
+
+    /// Clean energy of those transition windows so far, in joules.
+    pub fn transition_energy_j(&self) -> f64 {
+        self.transition_energy_j
     }
 
     /// Take a sample if one is due. `snap` must be monotonically
@@ -320,6 +381,15 @@ impl Daq {
         f.stats.samples_total += 1;
         f.clean_cpu_energy += Joules::new(clean_cpu_j);
         f.clean_mem_energy += Joules::new(clean_mem_j);
+
+        // Transition exposure: a window with at least one port write is
+        // attributed wholesale to whoever holds the port now, so its whole
+        // clean energy bounds the quantization (mis)attribution error.
+        if self.pending_port_writes > 0 {
+            self.transition_windows += 1;
+            self.transition_energy_j += clean_cpu_j + clean_mem_j;
+            self.pending_port_writes = 0;
+        }
 
         // Missed trigger: the window's energy is lost entirely.
         if f.rng.chance(f.plan.drop_sample) {
@@ -414,6 +484,8 @@ impl Daq {
             clean_cpu_energy: self.faults.clean_cpu_energy,
             clean_mem_energy: self.faults.clean_mem_energy,
             faults: self.faults.stats,
+            transition_windows: self.transition_windows,
+            transition_energy_j: self.transition_energy_j,
         }
     }
 }
@@ -545,6 +617,39 @@ mod tests {
                 w[1].t
             );
         }
+    }
+
+    #[test]
+    fn custom_period_scales_sample_count() {
+        let model = PowerModel::new(PlatformKind::PentiumM);
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut daq = Daq::with_model(model, 1.6e9, true).with_period(4e-6);
+        // 1 ms of work → ~250 samples at a 4 µs period.
+        while m.now() < 1e-3 {
+            let due = daq.next_due_cycles();
+            while m.cycles() < due {
+                m.int_ops(16);
+            }
+            daq.observe(&m.snapshot(), ComponentId::Application);
+        }
+        let n = daq.trace().unwrap().len();
+        assert!((200..=300).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn port_writes_mark_transition_windows() {
+        let mut m = Machine::new(PlatformKind::PentiumM);
+        let mut daq = Daq::new(PlatformKind::PentiumM);
+        run_windows(&mut daq, &mut m, ComponentId::Application, 3);
+        assert_eq!(daq.transition_windows(), 0);
+        daq.note_port_write();
+        run_windows(&mut daq, &mut m, ComponentId::Gc, 1);
+        assert_eq!(daq.transition_windows(), 1);
+        assert!(daq.transition_energy_j() > 0.0);
+        // The pending flag resets after the marked window.
+        run_windows(&mut daq, &mut m, ComponentId::Gc, 2);
+        assert_eq!(daq.transition_windows(), 1);
+        assert_eq!(daq.report().transition_windows, 1);
     }
 
     #[test]

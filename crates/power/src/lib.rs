@@ -58,6 +58,7 @@ mod model;
 mod perfmon;
 mod perturb;
 mod port;
+mod probe;
 mod thermal;
 mod units;
 
@@ -70,6 +71,9 @@ pub use model::PowerModel;
 pub use perfmon::{PerfMonitor, PerfRecord};
 pub use perturb::{perturbed_component_energy, EnergyPerturbation, PerturbSpecError};
 pub use port::ComponentPort;
+pub use probe::{
+    hpm_read_stall_cycles, ProbeSpec, ProbeStats, DAQ_ISR_LINES, DEFAULT_DAQ_PERIOD_NS,
+};
 pub use thermal::{ThermalConfig, ThermalSim, ThermalState};
 pub use units::{Celsius, EnergyDelay, Joules, Seconds, Watts};
 

@@ -79,11 +79,36 @@ pub enum CounterId {
     DiffRegressions,
     /// Bootstrap resample draws performed by the diff engine.
     DiffResamples,
+    /// Observer-effect sweeps executed (`--observe-cost` or `op:"observe"`).
+    ObserveSweeps,
+    /// (cell, probe-period, mode) points measured by observer-effect sweeps.
+    ObservePoints,
+    /// Component-ID port stores charged by non-transparent probes.
+    ProbePortStores,
+    /// DAQ samples whose ISR cost was charged by non-transparent probes.
+    ProbeDaqSamples,
+    /// HPM reads whose syscall-shaped cost was charged by non-transparent
+    /// probes.
+    ProbeHpmReads,
+    /// Simulated cycles charged directly to non-transparent probes (the
+    /// knock-on cache-eviction cost comes on top and is not counted here).
+    ProbeCyclesPaid,
+    /// `op:"observe"` requests admitted by the serving daemon.
+    ServeObserve,
+    /// Total measured cell energy, in integer microjoules (deterministic;
+    /// lets dashboards track energy throughput without parsing reports).
+    CellEnergyUj,
+    /// Telemetry host tax from `--telemetry-overhead`, in parts per
+    /// million of the bare wall time (host-timing dependent).
+    HostTaxPpm,
+    /// Probe tax from `--telemetry-overhead`: extra *simulated* cycles per
+    /// million charged by a non-transparent probe pass (deterministic).
+    ProbeTaxPpm,
 }
 
 impl CounterId {
     /// All counters, in export order.
-    pub const ALL: [CounterId; 32] = [
+    pub const ALL: [CounterId; 42] = [
         CounterId::CellsExecuted,
         CounterId::CellsFromCache,
         CounterId::CellsDedupedInBatch,
@@ -116,6 +141,16 @@ impl CounterId {
         CounterId::DiffCellsCompared,
         CounterId::DiffRegressions,
         CounterId::DiffResamples,
+        CounterId::ObserveSweeps,
+        CounterId::ObservePoints,
+        CounterId::ProbePortStores,
+        CounterId::ProbeDaqSamples,
+        CounterId::ProbeHpmReads,
+        CounterId::ProbeCyclesPaid,
+        CounterId::ServeObserve,
+        CounterId::CellEnergyUj,
+        CounterId::HostTaxPpm,
+        CounterId::ProbeTaxPpm,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -153,6 +188,16 @@ impl CounterId {
             CounterId::DiffCellsCompared => "diff_cells_compared",
             CounterId::DiffRegressions => "diff_regressions",
             CounterId::DiffResamples => "diff_resamples",
+            CounterId::ObserveSweeps => "observe_sweeps",
+            CounterId::ObservePoints => "observe_points",
+            CounterId::ProbePortStores => "probe_port_stores",
+            CounterId::ProbeDaqSamples => "probe_daq_samples",
+            CounterId::ProbeHpmReads => "probe_hpm_reads",
+            CounterId::ProbeCyclesPaid => "probe_cycles_paid",
+            CounterId::ServeObserve => "serve_observe",
+            CounterId::CellEnergyUj => "cell_energy_uj",
+            CounterId::HostTaxPpm => "host_tax_ppm",
+            CounterId::ProbeTaxPpm => "probe_tax_ppm",
         }
     }
 
@@ -166,9 +211,14 @@ impl CounterId {
     pub fn deterministic(self) -> bool {
         // Dropped response lines depend on how fast a client drains its
         // socket, which is host scheduling, like steals and memo waits.
+        // The host tax is a wall-clock ratio, so it moves with the host;
+        // the probe tax is a simulated-cycle ratio and stays put.
         !matches!(
             self,
-            CounterId::MemoInFlightWaits | CounterId::WorkerSteals | CounterId::ServeDroppedLines
+            CounterId::MemoInFlightWaits
+                | CounterId::WorkerSteals
+                | CounterId::ServeDroppedLines
+                | CounterId::HostTaxPpm
         )
     }
 
@@ -181,9 +231,18 @@ impl CounterId {
 }
 
 /// One atomic slot per [`CounterId`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct CounterSet {
     slots: [AtomicU64; CounterId::ALL.len()],
+}
+
+impl Default for CounterSet {
+    // Derived Default stops at 32-element arrays; the registry is larger.
+    fn default() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl CounterSet {

@@ -495,6 +495,26 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_dump_covers_every_registered_metric() {
+        // Audit: the dump is registry-driven, so every counter (even at
+        // zero) and every histogram's count series must be present — a
+        // new CounterId/HistId can never be silently missing from the
+        // export.
+        let prom = Telemetry::recording().snapshot().prometheus();
+        for c in CounterId::ALL {
+            let line = format!("vmprobe_{}_total 0", c.name());
+            assert!(prom.contains(&line), "missing counter: {line}");
+        }
+        for h in HistId::ALL {
+            let line = format!("vmprobe_{}_count 0", h.name());
+            assert!(prom.contains(&line), "missing histogram: {line}");
+        }
+        assert!(prom.contains("vmprobe_probe_period_us_count"));
+        assert!(prom.contains("vmprobe_host_tax_ppm_total"));
+        assert!(prom.contains("vmprobe_probe_tax_ppm_total"));
+    }
+
+    #[test]
     fn summary_renders_nonzero_rows() {
         let text = sample_snapshot().summary();
         assert!(text.contains("cells_executed"));

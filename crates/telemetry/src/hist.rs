@@ -22,16 +22,20 @@ pub enum HistId {
     /// Absolute relative energy shift per diff comparison, in parts per
     /// million (deterministic: one observation per (cell, component)).
     DiffShiftPpm,
+    /// Probe period of each observer-effect point, in microseconds
+    /// (deterministic: one observation per (cell, period, mode) point).
+    ProbePeriodUs,
 }
 
 impl HistId {
     /// All histograms, in export order.
-    pub const ALL: [HistId; 5] = [
+    pub const ALL: [HistId; 6] = [
         HistId::CellVirtualUs,
         HistId::CellHostUs,
         HistId::CellSpans,
         HistId::ServeQueueDepth,
         HistId::DiffShiftPpm,
+        HistId::ProbePeriodUs,
     ];
 
     /// Stable metric name (Prometheus-style snake case).
@@ -42,6 +46,7 @@ impl HistId {
             HistId::CellSpans => "cell_spans",
             HistId::ServeQueueDepth => "serve_queue_depth",
             HistId::DiffShiftPpm => "diff_shift_ppm",
+            HistId::ProbePeriodUs => "probe_period_us",
         }
     }
 

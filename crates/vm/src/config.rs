@@ -4,7 +4,7 @@ use serde::Serialize;
 use vmprobe_faults::FaultPlan;
 use vmprobe_heap::CollectorKind;
 use vmprobe_platform::PlatformKind;
-use vmprobe_power::DvfsPoint;
+use vmprobe_power::{DvfsPoint, ProbeSpec};
 
 /// Which of the paper's two virtual machines this runtime imitates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, serde::Deserialize)]
@@ -89,6 +89,10 @@ pub struct VmConfig {
     ///
     /// [`VmError::VerifyRejected`]: crate::VmError::VerifyRejected
     pub verify: bool,
+    /// Measurement mode: DAQ sampling period and probe transparency. The
+    /// default (40 µs, transparent) is the classic free-probes rig; any
+    /// other value perturbs or re-times the measurement itself.
+    pub probe: ProbeSpec,
 }
 
 impl VmConfig {
@@ -108,6 +112,7 @@ impl VmConfig {
             faults: FaultPlan::none(),
             record_spans: false,
             verify: true,
+            probe: ProbeSpec::default(),
         }
     }
 
@@ -128,6 +133,7 @@ impl VmConfig {
             faults: FaultPlan::none(),
             record_spans: false,
             verify: true,
+            probe: ProbeSpec::default(),
         }
     }
 
@@ -181,6 +187,12 @@ impl VmConfig {
     /// Enable/disable the load-time verification tier.
     pub fn verify(mut self, on: bool) -> Self {
         self.verify = on;
+        self
+    }
+
+    /// Select the measurement mode (observer-effect studies).
+    pub fn probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = probe;
         self
     }
 }

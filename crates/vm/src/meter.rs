@@ -7,9 +7,10 @@
 //! running *during* GC pauses and compilations, exactly like the physical
 //! rig.
 
-use vmprobe_platform::{Addr, CpuSpec, Exec, Machine, PlatformKind};
+use vmprobe_platform::{Addr, CpuSpec, Exec, Machine, PlatformKind, HPM_COUNTER_COUNT, PROBE_BASE};
 use vmprobe_power::{
-    ComponentId, ComponentPort, Daq, DvfsPoint, FaultPlan, PerfMonitor, PowerCoeffs, PowerModel,
+    hpm_read_stall_cycles, ComponentId, ComponentPort, Daq, DvfsPoint, FaultPlan, PerfMonitor,
+    PowerCoeffs, PowerModel, ProbeSpec, ProbeStats, DAQ_ISR_LINES, DEFAULT_DAQ_PERIOD_NS,
 };
 use vmprobe_telemetry::SpanTrace;
 
@@ -23,6 +24,16 @@ fn io_write_cycles(kind: PlatformKind) -> f64 {
     }
 }
 
+/// Bytes of the DAQ ISR's sample ring buffer inside the probe region.
+/// Twice the 32 KB L1D on both platforms, so a charged ISR steadily evicts
+/// workload lines instead of settling into a resident hot set.
+const PROBE_RING_BYTES: u64 = 1 << 16;
+/// Offset of the kernel-side HPM counter file inside the probe region.
+const PROBE_HPM_OFFSET: u64 = 1 << 20;
+/// Offset of the memory-mapped component-ID register inside the probe
+/// region.
+const PROBE_PORT_OFFSET: u64 = 2 << 20;
+
 /// Machine plus measurement rig.
 #[derive(Debug)]
 pub struct Meter {
@@ -33,6 +44,16 @@ pub struct Meter {
     io_cycles: f64,
     next_probe: u64,
     spans: Option<SpanTrace>,
+    /// Measurement mode: sampling period and probe transparency.
+    probe: ProbeSpec,
+    /// Syscall-shaped stall per charged HPM read (platform-specific).
+    hpm_stall: f64,
+    /// Cursor into the ISR sample ring (advances one line per load).
+    isr_cursor: u64,
+    port_stores: u64,
+    daq_samples_paid: u64,
+    hpm_reads_paid: u64,
+    cycles_paid: u64,
 }
 
 impl Meter {
@@ -59,9 +80,26 @@ impl Meter {
         dvfs: DvfsPoint,
         faults: FaultPlan,
     ) -> Self {
+        Self::with_probe(kind, trace_power, dvfs, faults, ProbeSpec::default())
+    }
+
+    /// Build a machine whose measurement rig runs in an explicit probe mode:
+    /// a retargeted DAQ period, charged probes, or both. The default spec
+    /// takes exactly the [`Meter::with_faults`] construction path, so
+    /// classic runs stay bit-identical.
+    pub fn with_probe(
+        kind: PlatformKind,
+        trace_power: bool,
+        dvfs: DvfsPoint,
+        faults: FaultPlan,
+        probe: ProbeSpec,
+    ) -> Self {
         let spec = CpuSpec::of(kind).scaled(dvfs.freq_factor);
         let model = PowerModel::with_coeffs(dvfs.scale_coeffs(PowerCoeffs::of(kind)));
-        let daq = Daq::with_model(model, spec.freq_hz, trace_power).with_faults(faults);
+        let mut daq = Daq::with_model(model, spec.freq_hz, trace_power).with_faults(faults);
+        if probe.daq_period_ns != DEFAULT_DAQ_PERIOD_NS {
+            daq = daq.with_period(probe.daq_period_s());
+        }
         let perf = PerfMonitor::with_clock(kind, spec.freq_hz);
         let perf = if faults.wrap32 {
             perf.with_wrap32()
@@ -77,6 +115,13 @@ impl Meter {
             io_cycles: io_write_cycles(kind),
             next_probe,
             spans: None,
+            probe,
+            hpm_stall: hpm_read_stall_cycles(kind),
+            isr_cursor: 0,
+            port_stores: 0,
+            daq_samples_paid: 0,
+            hpm_reads_paid: 0,
+            cycles_paid: 0,
         }
     }
 
@@ -125,9 +170,27 @@ impl Meter {
         (self.machine, self.daq, self.perf)
     }
 
+    /// The measurement mode in force.
+    pub fn probe_spec(&self) -> ProbeSpec {
+        self.probe
+    }
+
+    /// The probe-cost ledger: costs charged so far plus the DAQ's
+    /// transition-window exposure.
+    pub fn probe_stats(&self) -> ProbeStats {
+        ProbeStats {
+            port_stores: self.port_stores,
+            daq_samples_paid: self.daq_samples_paid,
+            hpm_reads_paid: self.hpm_reads_paid,
+            cycles_paid: self.cycles_paid,
+            transition_windows: self.daq.transition_windows(),
+            transition_energy_j: self.daq.transition_energy_j(),
+        }
+    }
+
     /// Enter a nested component: write the register (charged I/O) and push.
     pub fn enter(&mut self, c: ComponentId) {
-        self.machine.stall(self.io_cycles);
+        self.port_write();
         self.port.push(c);
         if let Some(t) = &mut self.spans {
             t.enter(c.label(), self.machine.cycles());
@@ -137,7 +200,7 @@ impl Meter {
 
     /// Exit the current component.
     pub fn exit(&mut self) {
-        self.machine.stall(self.io_cycles);
+        self.port_write();
         self.port.pop();
         if let Some(t) = &mut self.spans {
             t.exit(self.machine.cycles());
@@ -147,9 +210,52 @@ impl Meter {
 
     /// Scheduler-style base-context write.
     pub fn set_base(&mut self, c: ComponentId) {
-        self.machine.stall(self.io_cycles);
+        self.port_write();
         self.port.set_base(c);
         self.maybe_sample();
+    }
+
+    /// The shared cost of any component-ID register write: the classic I/O
+    /// stall, the DAQ's transition bookkeeping (counters only — free), and
+    /// in non-transparent mode a real store through the cache hierarchy to
+    /// the memory-mapped register.
+    fn port_write(&mut self) {
+        self.machine.stall(self.io_cycles);
+        self.daq.note_port_write();
+        if self.probe.nontransparent {
+            let c0 = self.machine.cycles();
+            self.machine.store(PROBE_BASE + PROBE_PORT_OFFSET);
+            self.port_stores += 1;
+            self.cycles_paid += self.machine.cycles() - c0;
+        }
+    }
+
+    /// Charged DAQ interrupt handler: walk [`DAQ_ISR_LINES`] lines of the
+    /// sample ring, advancing the cursor so the traffic keeps evicting
+    /// workload lines instead of settling into a resident set.
+    fn pay_daq_sample(&mut self) {
+        let c0 = self.machine.cycles();
+        let line = u64::from(self.machine.spec().l1d.line_bytes);
+        for _ in 0..DAQ_ISR_LINES {
+            self.machine
+                .load(PROBE_BASE + (self.isr_cursor % PROBE_RING_BYTES));
+            self.isr_cursor += line;
+        }
+        self.daq_samples_paid += 1;
+        self.cycles_paid += self.machine.cycles() - c0;
+    }
+
+    /// Charged OS-timer HPM read: a syscall-shaped stall plus one load per
+    /// counter in the file.
+    fn pay_hpm_read(&mut self) {
+        let c0 = self.machine.cycles();
+        self.machine.stall(self.hpm_stall);
+        let line = u64::from(self.machine.spec().l1d.line_bytes);
+        for i in 0..HPM_COUNTER_COUNT as u64 {
+            self.machine.load(PROBE_BASE + PROBE_HPM_OFFSET + i * line);
+        }
+        self.hpm_reads_paid += 1;
+        self.cycles_paid += self.machine.cycles() - c0;
     }
 
     #[inline]
@@ -157,8 +263,23 @@ impl Meter {
         if self.machine.cycles() >= self.next_probe {
             let snap = self.machine.snapshot();
             let c = self.port.current();
+            // Which monitors actually fire at this snapshot (observe() is a
+            // no-op for the one whose deadline has not arrived).
+            let daq_fired = snap.cycles >= self.daq.next_due_cycles();
+            let perf_fired = snap.cycles >= self.perf.next_due_cycles();
             self.daq.observe(&snap, c);
             self.perf.observe(&snap, c);
+            if self.probe.nontransparent {
+                // Probe costs are charged *after* the sample commits — the
+                // handler's own work lands in the next window, exactly like
+                // an ISR running with further sampling masked.
+                if daq_fired {
+                    self.pay_daq_sample();
+                }
+                if perf_fired {
+                    self.pay_hpm_read();
+                }
+            }
             self.next_probe = self.daq.next_due_cycles().min(self.perf.next_due_cycles());
         }
     }
@@ -331,6 +452,70 @@ mod tests {
         assert_eq!(trace.spans()[1].name, "GC");
         assert_eq!(trace.max_depth(), 2);
         assert_eq!(trace.total_cycles(), rec_cycles);
+    }
+
+    #[test]
+    fn nontransparent_probes_cost_cycles_and_fill_the_ledger() {
+        let drive = |probe: ProbeSpec| {
+            let mut m = Meter::with_probe(
+                PlatformKind::PentiumM,
+                false,
+                DvfsPoint::NOMINAL,
+                FaultPlan::none(),
+                probe,
+            );
+            m.set_base(ComponentId::Application);
+            // Fixed work, not fixed time: the observer effect shows up as
+            // extra cycles for the same workload.
+            for _ in 0..10_000 {
+                m.int_ops(1000);
+            }
+            m.enter(ComponentId::Gc);
+            m.int_ops(5000);
+            m.exit();
+            m.flush_samples();
+            (Exec::cycles(&m), m.probe_stats())
+        };
+        let (t_cycles, t_stats) = drive(ProbeSpec::default());
+        let (nt_cycles, nt_stats) = drive(ProbeSpec::nontransparent_at(DEFAULT_DAQ_PERIOD_NS));
+        // Transparent mode pays nothing but still tracks transitions.
+        assert_eq!(t_stats.port_stores, 0);
+        assert_eq!(t_stats.cycles_paid, 0);
+        assert!(t_stats.transition_windows >= 1);
+        // Non-transparent mode pays for every probe class.
+        assert!(nt_stats.port_stores >= 3);
+        assert!(nt_stats.daq_samples_paid >= 40);
+        assert!(nt_stats.hpm_reads_paid >= 1);
+        assert!(nt_stats.cycles_paid > 0);
+        // Direct probe cycles are a lower bound on the observer effect —
+        // evicted workload lines add knock-on misses on top.
+        assert!(nt_cycles > t_cycles);
+        assert!(nt_cycles - t_cycles >= nt_stats.cycles_paid);
+    }
+
+    #[test]
+    fn retargeted_period_changes_sample_density() {
+        let samples_at = |period_ns: u64| {
+            let mut m = Meter::with_probe(
+                PlatformKind::PentiumM,
+                false,
+                DvfsPoint::NOMINAL,
+                FaultPlan::none(),
+                ProbeSpec::transparent_at(period_ns),
+            );
+            m.set_base(ComponentId::Application);
+            while Exec::now(&m) < 2e-3 {
+                m.int_ops(1000);
+            }
+            m.flush_samples();
+            m.daq().report().component(ComponentId::Application).samples
+        };
+        let fine = samples_at(4_000);
+        let classic = samples_at(40_000);
+        assert!(
+            fine > 5 * classic,
+            "4 µs sampling ({fine}) should far outnumber 40 µs ({classic})"
+        );
     }
 
     #[test]

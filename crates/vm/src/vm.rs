@@ -142,11 +142,12 @@ impl Vm {
         loader.set_verify(config.verify);
         let compilers = CompilerSubsystem::new(&program);
         let statics = vec![Value::Null; program.statics().len()];
-        let mut meter = Meter::with_faults(
+        let mut meter = Meter::with_probe(
             config.platform,
             config.trace_power,
             config.dvfs,
             config.faults,
+            config.probe,
         );
         if config.record_spans {
             meter.enable_spans();
@@ -219,8 +220,12 @@ impl Vm {
         let total_alloc_bytes = self.heap.total_alloc_bytes();
         let power_trace = self.meter.daq().trace().map(<[PowerSample]>::to_vec);
         let spans = self.meter.take_spans();
+        let probe_stats = self.meter.probe_stats();
         let (machine, daq, perf) = self.meter.into_parts();
-        let report = analyze(&daq, &perf, &machine);
+        let mut report = analyze(&daq, &perf, &machine);
+        // The analyzer only sees the DAQ's transition exposure; the costs
+        // actually paid are the metering adapter's ledger.
+        report.probe = probe_stats;
         Ok(RunOutcome {
             duration: report.duration,
             report,

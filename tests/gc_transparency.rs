@@ -18,6 +18,7 @@ fn checksum(benchmark: &str, vm: VmChoice, heap_mb: u32, platform: PlatformKind)
         trace_power: false,
         record_spans: false,
         verify: true,
+        probe: vmprobe::ProbeSpec::default(),
     };
     let run = cfg
         .run()

@@ -17,6 +17,7 @@ fn quick(benchmark: &str, vm: VmChoice, heap_mb: u32, platform: PlatformKind) ->
         trace_power: false,
         record_spans: false,
         verify: true,
+        probe: vmprobe::ProbeSpec::default(),
     }
 }
 
