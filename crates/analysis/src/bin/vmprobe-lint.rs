@@ -5,23 +5,26 @@
 //! and reports every hit not suppressed by the allowlist.
 //!
 //! ```text
-//! vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet]
+//! vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet] [--forbid-stale]
 //! ```
 //!
 //! * `--root DIR` — workspace root (default: current directory).
 //! * `--allowlist FILE` — allowlist path (default: `ROOT/determinism-allowlist.txt`;
 //!   a missing default file is treated as empty).
 //! * `--quiet` — suppress the per-finding lines; only the summary.
+//! * `--forbid-stale` — also fail if any allowlist entry suppresses
+//!   nothing (stale entries are otherwise only warned about).
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` findings (or stale entries under
+//! `--forbid-stale`), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vmprobe_analysis::lint::{parse_allowlist, scan_workspace, SCANNED_CRATES};
+use vmprobe_analysis::lint::{parse_allowlist, scan_workspace_stale, SCANNED_CRATES};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet]");
+    eprintln!("usage: vmprobe-lint [--root DIR] [--allowlist FILE] [--quiet] [--forbid-stale]");
     ExitCode::from(2)
 }
 
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut forbid_stale = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +46,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--quiet" => quiet = true,
+            "--forbid-stale" => forbid_stale = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -61,8 +66,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match scan_workspace(&root, &allow) {
-        Ok(f) => f,
+    let (findings, stale) = match scan_workspace_stale(&root, &allow) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("vmprobe-lint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
@@ -74,15 +79,22 @@ fn main() -> ExitCode {
             println!("{f}");
         }
     }
+    for e in &stale {
+        println!(
+            "vmprobe-lint: stale allowlist entry `{}:{}` suppresses nothing — prune it",
+            e.path, e.fragment
+        );
+    }
     println!(
-        "vmprobe-lint: {} finding(s) across crates {{{}}} ({} allowlist entr{})",
+        "vmprobe-lint: {} finding(s) across crates {{{}}} ({} allowlist entr{}, {} stale)",
         findings.len(),
         SCANNED_CRATES.join(", "),
         allow.len(),
         if allow.len() == 1 { "y" } else { "ies" },
+        stale.len(),
     );
 
-    if findings.is_empty() {
+    if findings.is_empty() && (stale.is_empty() || !forbid_stale) {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -99,15 +99,34 @@ pub fn parse_allowlist(body: &str) -> Vec<AllowEntry> {
 
 /// Scan one file's contents for banned patterns.
 pub fn scan_source(rel_path: &str, body: &str, allow: &[AllowEntry]) -> Vec<Finding> {
+    let mut used = vec![false; allow.len()];
+    scan_source_tracking(rel_path, body, allow, &mut used)
+}
+
+/// Like [`scan_source`], additionally marking `used[i] = true` for every
+/// allowlist entry that suppressed at least one finding. Feeding the same
+/// `used` slice across a whole scan identifies stale entries — those that
+/// suppress nothing anywhere and should be pruned.
+pub fn scan_source_tracking(
+    rel_path: &str,
+    body: &str,
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Finding> {
+    assert_eq!(allow.len(), used.len(), "one used slot per allow entry");
     let mut findings = Vec::new();
     for (idx, line) in body.lines().enumerate() {
         for &(pattern, reason) in BANNED {
             if !line.contains(pattern) {
                 continue;
             }
-            let allowed = allow
-                .iter()
-                .any(|e| e.path == rel_path && line.contains(e.fragment.as_str()));
+            let mut allowed = false;
+            for (e, slot) in allow.iter().zip(used.iter_mut()) {
+                if e.path == rel_path && line.contains(e.fragment.as_str()) {
+                    allowed = true;
+                    *slot = true;
+                }
+            }
             if allowed {
                 continue;
             }
@@ -141,29 +160,52 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Every `.rs` file the lint covers under `root`, in scan order.
+pub fn scanned_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for krate in SCANNED_CRATES {
+        let dir = root.join("crates").join(krate);
+        if dir.is_dir() {
+            rust_files(&dir, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
 /// Scan the deterministic crates under `root` (the workspace root).
 ///
 /// Returns all findings not suppressed by `allow`, in path/line order.
 pub fn scan_workspace(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<Finding>> {
+    scan_workspace_stale(root, allow).map(|(findings, _)| findings)
+}
+
+/// [`scan_workspace`], additionally returning the *stale* allowlist
+/// entries: those that suppressed nothing anywhere in the scan. A stale
+/// entry is a latent hole — it silently re-enables itself the day a real
+/// finding appears on a line matching its fragment — so CI rejects them
+/// via `vmprobe-lint --forbid-stale`.
+pub fn scan_workspace_stale(
+    root: &Path,
+    allow: &[AllowEntry],
+) -> std::io::Result<(Vec<Finding>, Vec<AllowEntry>)> {
     let mut findings = Vec::new();
-    for krate in SCANNED_CRATES {
-        let dir = root.join("crates").join(krate);
-        if !dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        rust_files(&dir, &mut files)?;
-        for file in files {
-            let body = std::fs::read_to_string(&file)?;
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            findings.extend(scan_source(&rel, &body, allow));
-        }
+    let mut used = vec![false; allow.len()];
+    for file in scanned_files(root)? {
+        let body = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source_tracking(&rel, &body, allow, &mut used));
     }
-    Ok(findings)
+    let stale = allow
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok((findings, stale))
 }
 
 #[cfg(test)]
@@ -192,6 +234,51 @@ mod tests {
         assert!(scan_source("crates/vm/src/x.rs", src, &allow).is_empty());
         // Same line in another file is still reported.
         assert_eq!(scan_source("crates/vm/src/y.rs", src, &allow).len(), 1);
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_detected() {
+        let allow = parse_allowlist(
+            "crates/vm/src/x.rs: java/util/HashMap\ncrates/vm/src/gone.rs: Instant::now\n",
+        );
+        let src = "let name = \"java/util/HashMap\";\n";
+        let mut used = vec![false; allow.len()];
+        let f = scan_source_tracking("crates/vm/src/x.rs", src, &allow, &mut used);
+        assert!(f.is_empty());
+        assert_eq!(used, [true, false], "only the first entry fired");
+    }
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn register_ir_sources_are_inside_the_lint_perimeter() {
+        // The rir module ships hot-path execution code; a wall clock or
+        // unseeded hash there would break bit-identical replay exactly
+        // like one in the interpreter. Pin that the scanner sees it.
+        let files = scanned_files(&workspace_root()).expect("workspace scan");
+        for expect in ["rir/mod.rs", "rir/lower.rs", "rir/exec.rs"] {
+            assert!(
+                files
+                    .iter()
+                    .any(|p| p.to_string_lossy().replace('\\', "/").ends_with(expect)),
+                "lint perimeter lost crates/vm/src/{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_workspace_is_clean_with_no_stale_allowlist_entries() {
+        let root = workspace_root();
+        let body = std::fs::read_to_string(root.join("determinism-allowlist.txt"))
+            .expect("allowlist exists");
+        let allow = parse_allowlist(&body);
+        let (findings, stale) = scan_workspace_stale(&root, &allow).expect("scan");
+        assert!(findings.is_empty(), "determinism findings: {findings:?}");
+        assert!(stale.is_empty(), "stale allowlist entries: {stale:?}");
     }
 
     #[test]

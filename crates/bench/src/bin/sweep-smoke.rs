@@ -1,0 +1,139 @@
+//! Engine A/B smoke benchmark: the Figure 6 quick grid on the register
+//! engine vs the stack interpreter, with a bit-identity gate.
+//!
+//! ```text
+//! sweep-smoke [--passes N] [--jobs N] [--out PATH]
+//! ```
+//!
+//! Runs the reduced-scope fig6 sweep under both execution engines
+//! (`VMPROBE_STACK_ENGINE` toggles the interpreter) at `--jobs 1` and
+//! `--jobs N`, asserts all four outputs are byte-identical, then times
+//! `--passes` cold passes per engine and writes a JSON record suitable
+//! for the perf trajectory (`BENCH_sweep_scaling.json`). Exits non-zero
+//! if any output diverges.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vmprobe::{default_jobs, figures, json::JsonObj, Runner};
+use vmprobe_bench::{QUICK_BENCHMARKS, QUICK_HEAPS};
+use vmprobe_workloads::InputScale;
+
+fn sweep(jobs: usize) -> String {
+    let mut runner = Runner::new().jobs(jobs).scale(InputScale::Reduced);
+    figures::fig6(&mut runner, &QUICK_BENCHMARKS, &QUICK_HEAPS)
+        .expect("fig6 regenerates")
+        .to_string()
+}
+
+/// Run one engine configuration: a correctness pass at 1 and `jobs`
+/// workers (returning the sweep text) plus `passes` timed cold passes.
+fn measure(stack_engine: bool, jobs: usize, passes: usize) -> (String, Vec<f64>) {
+    // The engine switch is read per cell from the environment; flip it
+    // here, before the sweep pool spawns its workers.
+    if stack_engine {
+        std::env::set_var("VMPROBE_STACK_ENGINE", "1");
+    } else {
+        std::env::remove_var("VMPROBE_STACK_ENGINE");
+    }
+    let serial = sweep(1);
+    let parallel = sweep(jobs);
+    assert_eq!(
+        serial, parallel,
+        "jobs=1 vs jobs={jobs} output diverged (stack_engine={stack_engine})"
+    );
+    let mut times = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let wall = Instant::now();
+        let out = sweep(jobs);
+        times.push(wall.elapsed().as_secs_f64());
+        assert_eq!(out, serial, "timed pass output diverged");
+    }
+    (serial, times)
+}
+
+fn stats(obj: &mut JsonObj, key: &str, times: &[f64]) {
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    obj.f64(&format!("{key}_mean_s"), mean)
+        .f64(&format!("{key}_min_s"), min)
+        .array(
+            &format!("{key}_passes_s"),
+            times.iter().map(|t| format!("{t:.6}")),
+        );
+}
+
+fn main() -> ExitCode {
+    let mut passes = 3usize;
+    let mut jobs = default_jobs();
+    let mut out_path = String::from("BENCH_sweep_scaling.json");
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        let num = |raw: &mut dyn Iterator<Item = String>| {
+            raw.next().and_then(|v| v.parse::<usize>().ok())
+        };
+        match a.as_str() {
+            "--passes" => match num(&mut raw) {
+                Some(n) if n > 0 => passes = n,
+                _ => {
+                    eprintln!("--passes expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" | "-j" => match num(&mut raw) {
+                Some(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match raw.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out expects a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("fig6 quick grid, {passes} passes per engine, jobs={jobs}");
+    let (reg_out, reg_times) = measure(false, jobs, passes);
+    let (stack_out, stack_times) = measure(true, jobs, passes);
+    let identical = reg_out == stack_out;
+    if !identical {
+        eprintln!("FAIL: register-engine sweep output differs from the stack interpreter");
+    }
+
+    let reg_mean = reg_times.iter().sum::<f64>() / reg_times.len() as f64;
+    let stack_mean = stack_times.iter().sum::<f64>() / stack_times.len() as f64;
+    let speedup = stack_mean / reg_mean;
+    println!("stack interpreter: {stack_mean:.3} s mean");
+    println!("register engine:   {reg_mean:.3} s mean");
+    println!("speedup: {speedup:.2}x (bit-identical: {identical})");
+
+    let mut obj = JsonObj::new();
+    obj.schema_version()
+        .str("bench", "fig6_quick_sweep")
+        .str("scale", "reduced")
+        .u64("jobs", jobs as u64)
+        .u64("passes", passes as u64)
+        .bool("bit_identical", identical)
+        .f64("speedup", speedup);
+    stats(&mut obj, "stack_engine", &stack_times);
+    stats(&mut obj, "register_engine", &reg_times);
+    if let Err(e) = std::fs::write(&out_path, obj.finish() + "\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -14,11 +14,13 @@
 //! live in memory or registers (see the interpreter).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use vmprobe_bytecode::{MethodId, Program};
 use vmprobe_platform::{Exec, CODE_BASE, VM_BASE};
 
+use crate::rir::{lower, RirBody};
 use crate::Meter;
 
 /// Compilation state of a method.
@@ -38,6 +40,14 @@ pub enum Tier {
 impl Tier {
     /// Extra integer µops charged per executed bytecode (dispatch, frame
     /// bookkeeping) at this tier.
+    ///
+    /// Frames snapshot their tier at invocation: an activation already
+    /// executing when the controller promotes its method keeps charging
+    /// the old tier's dispatch (and engine) for the rest of that
+    /// activation. This models the lack of on-stack replacement — Jikes
+    /// RVM's adaptive system in the paper's configuration swaps code at
+    /// the *next* invocation, not mid-activation — and is pinned by the
+    /// `promotion_mid_activation_keeps_the_old_tier` test.
     pub const fn dispatch_ops(self) -> u32 {
         match self {
             Tier::Uncompiled => 8, // interpreted fallback
@@ -103,6 +113,11 @@ pub struct CompilerStats {
 pub struct CompilerSubsystem {
     methods: Vec<MethodRuntime>,
     code_cursor: u64,
+    /// Lowered register bodies, populated when a method reaches
+    /// [`Tier::Opt`]. `None` for lower tiers and for methods the
+    /// conservative lowering pass declined (they stay on the stack
+    /// interpreter).
+    rir: Vec<Option<Arc<RirBody>>>,
     /// Methods awaiting the optimizing compiler thread.
     pub opt_queue: VecDeque<MethodId>,
     /// Counters.
@@ -123,9 +138,16 @@ impl CompilerSubsystem {
                 program.method_count()
             ],
             code_cursor: CODE_BASE,
+            rir: vec![None; program.method_count()],
             opt_queue: VecDeque::new(),
             stats: CompilerStats::default(),
         }
+    }
+
+    /// The lowered register body installed for `m`, if it has one (i.e.
+    /// the method reached [`Tier::Opt`] and lowering succeeded).
+    pub(crate) fn rir_body(&self, m: MethodId) -> Option<Arc<RirBody>> {
+        self.rir[m.0 as usize].clone()
     }
 
     /// Runtime state of `m`.
@@ -156,7 +178,14 @@ impl CompilerSubsystem {
         }
     }
 
-    fn install_code(&mut self, meter: &mut Meter, m: MethodId, bytes: u32, tier: Tier) {
+    fn install_code(
+        &mut self,
+        program: &Program,
+        meter: &mut Meter,
+        m: MethodId,
+        bytes: u32,
+        tier: Tier,
+    ) {
         let size = bytes * tier.code_expansion();
         let addr = self.code_cursor;
         self.code_cursor += u64::from(size) + 64;
@@ -164,6 +193,15 @@ impl CompilerSubsystem {
         let rt = &mut self.methods[m.0 as usize];
         rt.tier = tier;
         rt.code_addr = addr;
+        if tier == Tier::Opt {
+            // Produce the register body the VM's register engine runs for
+            // Opt frames. This is host-side work: the *modeled* cost of
+            // optimizing compilation is `opt_compile`'s charge, and the
+            // meter sequence here is identical whether lowering succeeds
+            // (register engine, bit-identical charges) or not (the method
+            // stays on the stack interpreter).
+            self.rir[m.0 as usize] = lower(program, program.method(m)).ok().map(Arc::new);
+        }
     }
 
     /// Baseline-compile `m` (charged to the caller's current component;
@@ -171,7 +209,7 @@ impl CompilerSubsystem {
     pub fn baseline_compile(&mut self, program: &Program, m: MethodId, meter: &mut Meter) {
         let bytes = program.method(m).bytecode_bytes();
         self.charge_compile(meter, bytes, BASE_OPS_PER_BYTE);
-        self.install_code(meter, m, bytes, Tier::Baseline);
+        self.install_code(program, meter, m, bytes, Tier::Baseline);
         self.stats.baseline_compiles += 1;
         self.stats.bytes_compiled += u64::from(bytes);
     }
@@ -180,7 +218,7 @@ impl CompilerSubsystem {
     pub fn jit_compile(&mut self, program: &Program, m: MethodId, meter: &mut Meter) {
         let bytes = program.method(m).bytecode_bytes();
         self.charge_compile(meter, bytes, JIT_OPS_PER_BYTE);
-        self.install_code(meter, m, bytes, Tier::Jit);
+        self.install_code(program, meter, m, bytes, Tier::Jit);
         self.stats.jit_compiles += 1;
         self.stats.bytes_compiled += u64::from(bytes);
     }
@@ -189,7 +227,7 @@ impl CompilerSubsystem {
     pub fn opt_compile(&mut self, program: &Program, m: MethodId, meter: &mut Meter) {
         let bytes = program.method(m).bytecode_bytes();
         self.charge_compile(meter, bytes, OPT_OPS_PER_BYTE);
-        self.install_code(meter, m, bytes, Tier::Opt);
+        self.install_code(program, meter, m, bytes, Tier::Opt);
         self.stats.opt_compiles += 1;
         self.stats.bytes_compiled += u64::from(bytes);
     }

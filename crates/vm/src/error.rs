@@ -38,6 +38,17 @@ pub enum VmError {
         /// Array length.
         len: usize,
     },
+    /// `newarray` was given a negative length. The structural and
+    /// dataflow verifiers track types, not value ranges, so this can only
+    /// be caught at runtime — as a typed fault, not a silent clamp.
+    NegativeArrayLength {
+        /// Method executing at the fault.
+        method: MethodId,
+        /// Instruction index of the fault.
+        pc: u32,
+        /// The negative length popped by the instruction.
+        len: i64,
+    },
     /// Call stack exceeded the configured frame limit.
     StackOverflow {
         /// The configured limit.
@@ -111,6 +122,9 @@ impl fmt::Display for VmError {
                     "index {index} out of bounds (len {len}) at {method}:{pc}"
                 )
             }
+            VmError::NegativeArrayLength { method, pc, len } => {
+                write!(f, "negative array length {len} at {method}:{pc}")
+            }
             VmError::StackOverflow { limit } => {
                 write!(f, "call stack exceeded {limit} frames")
             }
@@ -156,5 +170,12 @@ mod tests {
             pc: 7,
         };
         assert!(e.to_string().contains("M2:7"));
+        let e = VmError::NegativeArrayLength {
+            method: MethodId(3),
+            pc: 9,
+            len: -4,
+        };
+        assert!(e.to_string().contains("-4"));
+        assert!(e.to_string().contains("M3:9"));
     }
 }

@@ -30,6 +30,7 @@ mod compiler;
 mod config;
 mod error;
 mod meter;
+mod rir;
 mod stats;
 mod value;
 mod vm;

@@ -1,0 +1,436 @@
+//! Lowering from verified stack bytecode to the register IR.
+//!
+//! The pass re-runs the structural verifier's worklist over operand-stack
+//! *depth* (see `vmprobe_bytecode::verify_method`): structural soundness
+//! guarantees every reachable pc has exactly one static depth, which makes
+//! the stack-to-register mapping total — local `n` is register `n`, the
+//! operand slot at depth `d` is register `n_locals + d`. Emission is then
+//! strictly 1:1: register instruction `i` is bytecode `pc == i`, so branch
+//! targets, the ifetch cadence (`pc & 7 == 0`) and fault pcs carry over
+//! unchanged. Unreachable pcs lower to `Nop` placeholders that can never
+//! execute.
+//!
+//! The pass is deliberately re-run here rather than trusting the caller:
+//! `vmprobe_bytecode::assemble` does not verify, and the `--no-verify`
+//! escape hatch disables the load-time tier, so the compiler subsystem
+//! may be handed structurally broken methods. Lowering then returns an
+//! error and the method simply stays on the stack interpreter, which is
+//! always semantically authoritative.
+//!
+//! Lowering happens host-side at `install_code` time and charges zero
+//! simulated cycles — the *modeled* cost of optimizing compilation is
+//! `opt_compile`'s charge, exactly as before.
+
+use std::collections::BTreeMap;
+
+use vmprobe_bytecode::{Method, Op, Program};
+
+use super::{AluKind, CmpKind, FAluKind, RirBody, RirOp};
+
+/// Why a method could not be lowered (it stays on the stack interpreter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum LowerError {
+    /// Method body is empty.
+    EmptyBody,
+    /// Two paths reach a pc with different stack depths.
+    DepthMismatch {
+        /// The join-point pc.
+        pc: u32,
+    },
+    /// An instruction pops more values than the stack holds.
+    Underflow {
+        /// The offending pc.
+        pc: u32,
+    },
+    /// A branch target is outside the method body.
+    BranchOutOfRange {
+        /// The offending pc.
+        pc: u32,
+    },
+    /// Execution can run past the last instruction.
+    FallsOffEnd,
+    /// A static index (local, method, class, static slot) is out of range,
+    /// or a return kind contradicts the signature.
+    BadIndex {
+        /// The offending pc.
+        pc: u32,
+    },
+    /// The window or a literal pool would overflow the 16-bit operand
+    /// encoding.
+    TooWide,
+}
+
+/// Register index for operand-stack depth `d` in a method with `n_locals`
+/// locals.
+fn reg(n_locals: u16, d: usize) -> u16 {
+    n_locals + d as u16
+}
+
+/// Lower `method` to a register body, or report why it must stay on the
+/// stack interpreter.
+pub(crate) fn lower(program: &Program, method: &Method) -> Result<RirBody, LowerError> {
+    let code = method.code();
+    if code.is_empty() {
+        return Err(LowerError::EmptyBody);
+    }
+    let n_locals = u16::from(method.n_locals());
+
+    // Pass 1: the structural verifier's depth worklist, kept in sync with
+    // `vmprobe_bytecode::verify_method` so lowering accepts exactly the
+    // structurally sound methods.
+    let mut depth_at: Vec<Option<usize>> = vec![None; code.len()];
+    let mut worklist: Vec<(u32, usize)> = vec![(0, 0)];
+    let mut max_depth = 0usize;
+    while let Some((pc, depth)) = worklist.pop() {
+        let idx = pc as usize;
+        match depth_at[idx] {
+            Some(d) if d == depth => continue,
+            Some(_) => return Err(LowerError::DepthMismatch { pc }),
+            None => depth_at[idx] = Some(depth),
+        }
+        let op = &code[idx];
+        match op {
+            Op::Load(n) | Op::Store(n) if u16::from(*n) >= n_locals => {
+                return Err(LowerError::BadIndex { pc });
+            }
+            Op::Call(m) if m.0 as usize >= program.methods().len() => {
+                return Err(LowerError::BadIndex { pc });
+            }
+            Op::New(c) if c.0 as usize >= program.classes().len() => {
+                return Err(LowerError::BadIndex { pc });
+            }
+            Op::GetStatic(s) | Op::PutStatic(s) if *s as usize >= program.statics().len() => {
+                return Err(LowerError::BadIndex { pc });
+            }
+            Op::Ret if method.returns_value() => return Err(LowerError::BadIndex { pc }),
+            Op::RetV if !method.returns_value() => return Err(LowerError::BadIndex { pc }),
+            _ => {}
+        }
+        let (pops, pushes) = match op {
+            Op::Call(m) => {
+                let callee = program.method(*m);
+                (
+                    callee.n_args() as usize,
+                    usize::from(callee.returns_value()),
+                )
+            }
+            _ => (op.pops(), op.pushes()),
+        };
+        if pops > depth {
+            return Err(LowerError::Underflow { pc });
+        }
+        let next_depth = depth - pops + pushes;
+        max_depth = max_depth.max(next_depth).max(depth);
+        if let Some(target) = op.branch_target() {
+            if target as usize >= code.len() {
+                return Err(LowerError::BranchOutOfRange { pc });
+            }
+            worklist.push((target, next_depth));
+        }
+        if !op.is_terminator() {
+            if idx + 1 >= code.len() {
+                return Err(LowerError::FallsOffEnd);
+            }
+            worklist.push((pc + 1, next_depth));
+        }
+    }
+
+    let n_regs = (n_locals as usize)
+        .checked_add(max_depth)
+        .filter(|n| *n <= usize::from(u16::MAX))
+        .ok_or(LowerError::TooWide)? as u16;
+
+    // Pass 2: 1:1 emission. Literal pools deduplicate through BTreeMaps
+    // (floats keyed by bit pattern so NaN payloads and -0.0 survive);
+    // no hashing, per the determinism lint.
+    let mut pool_i: Vec<i64> = Vec::new();
+    let mut pool_f: Vec<f64> = Vec::new();
+    let mut seen_i: BTreeMap<i64, u16> = BTreeMap::new();
+    let mut seen_f: BTreeMap<u64, u16> = BTreeMap::new();
+    let mut intern_i = |v: i64, pool: &mut Vec<i64>| -> Result<u16, LowerError> {
+        if let Some(&idx) = seen_i.get(&v) {
+            return Ok(idx);
+        }
+        let idx = u16::try_from(pool.len()).map_err(|_| LowerError::TooWide)?;
+        pool.push(v);
+        seen_i.insert(v, idx);
+        Ok(idx)
+    };
+    let mut intern_f = |v: f64, pool: &mut Vec<f64>| -> Result<u16, LowerError> {
+        if let Some(&idx) = seen_f.get(&v.to_bits()) {
+            return Ok(idx);
+        }
+        let idx = u16::try_from(pool.len()).map_err(|_| LowerError::TooWide)?;
+        pool.push(v);
+        seen_f.insert(v.to_bits(), idx);
+        Ok(idx)
+    };
+
+    let mut ops = Vec::with_capacity(code.len());
+    for (idx, op) in code.iter().enumerate() {
+        let pc = idx as u32;
+        let Some(d) = depth_at[idx] else {
+            ops.push(RirOp::Nop); // unreachable pc: placeholder, never runs
+            continue;
+        };
+        let r = |depth: usize| reg(n_locals, depth);
+        let lowered = match *op {
+            Op::ConstI(v) => RirOp::ConstI {
+                dst: r(d),
+                lit: intern_i(v, &mut pool_i)?,
+            },
+            Op::ConstF(v) => RirOp::ConstF {
+                dst: r(d),
+                lit: intern_f(v, &mut pool_f)?,
+            },
+            Op::ConstNull => RirOp::ConstNull { dst: r(d) },
+            Op::Dup => RirOp::Mov {
+                dst: r(d),
+                src: r(d - 1),
+            },
+            Op::Pop => RirOp::Drop,
+            Op::Swap => RirOp::Swap {
+                a: r(d - 1),
+                b: r(d - 2),
+            },
+            Op::Load(n) => RirOp::Mov {
+                dst: r(d),
+                src: u16::from(n),
+            },
+            Op::Store(n) => RirOp::Mov {
+                dst: u16::from(n),
+                src: r(d - 1),
+            },
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::Shl
+            | Op::Shr
+            | Op::And
+            | Op::Or
+            | Op::Xor => RirOp::IntAlu {
+                kind: AluKind::from_op(*op).expect("integer ALU op"),
+                dst: r(d - 2),
+                a: r(d - 2),
+                b: r(d - 1),
+            },
+            Op::Neg => RirOp::Neg {
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => RirOp::FAlu {
+                kind: FAluKind::from_op(*op).expect("float ALU op"),
+                dst: r(d - 2),
+                a: r(d - 2),
+                b: r(d - 1),
+            },
+            Op::FNeg => RirOp::FNeg {
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::Math(f) => RirOp::Math {
+                f,
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::I2F => RirOp::I2F {
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::F2I => RirOp::F2I {
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::Eq | Op::Ne => RirOp::Cmp {
+                kind: CmpKind::from_op(*op).expect("comparison op"),
+                dst: r(d - 2),
+                a: r(d - 2),
+                b: r(d - 1),
+            },
+            Op::IsNull => RirOp::IsNull {
+                dst: r(d - 1),
+                src: r(d - 1),
+            },
+            Op::Jump(t) => RirOp::Jump {
+                target: t,
+                back_edge: t <= pc,
+            },
+            Op::BrTrue(t) => RirOp::Br {
+                cond: r(d - 1),
+                target: t,
+                on_true: true,
+                back_edge: t <= pc,
+            },
+            Op::BrFalse(t) => RirOp::Br {
+                cond: r(d - 1),
+                target: t,
+                on_true: false,
+                back_edge: t <= pc,
+            },
+            Op::Call(m) => RirOp::Call {
+                m,
+                save_sp: r(d - program.method(m).n_args() as usize) - n_locals,
+            },
+            Op::Ret => RirOp::Ret,
+            Op::RetV => RirOp::RetV { src: r(d - 1) },
+            Op::New(c) => RirOp::New {
+                class: c,
+                dst: r(d),
+                gc_sp: d as u16,
+            },
+            Op::NewArr(kind) => RirOp::NewArr {
+                kind,
+                len: r(d - 1),
+                dst: r(d - 1),
+                gc_sp: (d - 1) as u16,
+            },
+            Op::GetField(fidx) => RirOp::GetField {
+                obj: r(d - 1),
+                dst: r(d - 1),
+                fidx,
+            },
+            Op::PutField(fidx) => RirOp::PutField {
+                obj: r(d - 2),
+                val: r(d - 1),
+                fidx,
+            },
+            Op::GetStatic(s) => RirOp::GetStatic { dst: r(d), slot: s },
+            Op::PutStatic(s) => RirOp::PutStatic {
+                src: r(d - 1),
+                slot: s,
+            },
+            Op::ALoad => RirOp::ALoad {
+                arr: r(d - 2),
+                idx: r(d - 1),
+                dst: r(d - 2),
+            },
+            Op::AStore => RirOp::AStore {
+                arr: r(d - 3),
+                idx: r(d - 2),
+                val: r(d - 1),
+            },
+            Op::ArrLen => RirOp::ArrLen {
+                arr: r(d - 1),
+                dst: r(d - 1),
+            },
+            Op::Nop => RirOp::Nop,
+        };
+        ops.push(lowered);
+    }
+
+    Ok(RirBody {
+        ops,
+        n_locals,
+        n_regs,
+        pool_i,
+        pool_f,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprobe_bytecode::ProgramBuilder;
+
+    fn lowered(f: impl FnOnce(&mut vmprobe_bytecode::MethodBuilder)) -> RirBody {
+        let mut p = ProgramBuilder::new();
+        let m = p.function("t", 1, 2, f);
+        let prog = p.finish(m).unwrap();
+        lower(&prog, prog.method(prog.entry())).unwrap()
+    }
+
+    #[test]
+    fn emission_is_one_to_one_with_bytecode() {
+        let body = lowered(|b| {
+            b.load(0).const_i(2).mul().ret_value();
+        });
+        // function(_, 1, 2) declares 1 arg + 2 extra locals = 3 locals.
+        assert_eq!(body.ops.len(), 4);
+        assert_eq!(body.n_locals, 3);
+        // load 0 at depth 0 writes register n_locals + 0.
+        assert_eq!(body.ops[0], RirOp::Mov { dst: 3, src: 0 });
+        assert_eq!(body.ops[1], RirOp::ConstI { dst: 4, lit: 0 });
+        assert_eq!(
+            body.ops[2],
+            RirOp::IntAlu {
+                kind: AluKind::Mul,
+                dst: 3,
+                a: 3,
+                b: 4
+            }
+        );
+        assert_eq!(body.ops[3], RirOp::RetV { src: 3 });
+        assert_eq!(body.n_regs, 5);
+    }
+
+    #[test]
+    fn literal_pools_deduplicate() {
+        let body = lowered(|b| {
+            b.const_i(7).pop();
+            b.const_i(7).pop();
+            b.const_i(9).pop();
+            b.const_f(1.5).pop();
+            b.const_f(1.5).pop();
+            b.ret();
+        });
+        assert_eq!(body.pool_i, vec![7, 9]);
+        assert_eq!(body.pool_f, vec![1.5]);
+        assert_eq!(body.ops[0], RirOp::ConstI { dst: 3, lit: 0 });
+        assert_eq!(body.ops[2], RirOp::ConstI { dst: 3, lit: 0 });
+        assert_eq!(body.ops[4], RirOp::ConstI { dst: 3, lit: 1 });
+    }
+
+    #[test]
+    fn back_edges_are_resolved_at_lowering_time() {
+        let body = lowered(|b| {
+            b.for_range(0, 0, 4, |b| {
+                b.nop();
+            });
+            b.ret();
+        });
+        let back = body
+            .ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    RirOp::Jump {
+                        back_edge: true,
+                        ..
+                    } | RirOp::Br {
+                        back_edge: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(back, 1, "loop has exactly one back edge");
+    }
+
+    #[test]
+    fn rejects_underflow_like_the_verifier() {
+        // Assembled (unverified) code can underflow; lowering must bail.
+        let prog = vmprobe_bytecode::assemble(".method main 0 1\n    add\n    ret\n").unwrap();
+        let err = lower(&prog, prog.method(prog.entry())).unwrap_err();
+        assert_eq!(err, LowerError::Underflow { pc: 0 });
+    }
+
+    #[test]
+    fn rejects_falling_off_the_end() {
+        let prog = vmprobe_bytecode::assemble(".method main 0 1\n    nop\n").unwrap();
+        let err = lower(&prog, prog.method(prog.entry())).unwrap_err();
+        assert_eq!(err, LowerError::FallsOffEnd);
+    }
+
+    #[test]
+    fn unreachable_code_lowers_to_nop_placeholders() {
+        let prog =
+            vmprobe_bytecode::assemble(".method main 0 1\n    ret\n    const_i 1\n    ret_value\n")
+                .unwrap();
+        let body = lower(&prog, prog.method(prog.entry())).unwrap();
+        assert_eq!(body.ops[1], RirOp::Nop);
+        assert_eq!(body.ops[2], RirOp::Nop);
+    }
+}

@@ -1,0 +1,479 @@
+//! Register IR for the optimizing tier.
+//!
+//! The stack-bytecode interpreter in [`crate::vm`] executes every tier by
+//! replaying push/pop traffic on a `Vec<Value>` operand stack. For
+//! [`Tier::Opt`](crate::Tier) code that is pure host overhead: the *model*
+//! says optimized code keeps locals in registers and pays zero dispatch
+//! µops, so nothing about the charged µop stream depends on the operand
+//! stack actually existing. This module lowers verified stack bytecode to
+//! fixed-width three-address instructions over a flat per-method register
+//! file (the Regorus RVM recipe: register windows per frame recycled
+//! through a pool, literal pools resolved at load time, a linear pc with
+//! absolute jumps) so the hot execution loop becomes direct indexed moves.
+//!
+//! **Byte-identity discipline.** The register engine is an *engine*
+//! change, never a *model* change: for every executed bytecode it must
+//! drive the [`Meter`](crate::Meter) through exactly the call sequence the
+//! stack interpreter issues for a `Tier::Opt` frame — same ifetch cadence,
+//! same µop charges in the same order, same fault sites with the same
+//! `pc`. Metered reports, fault streams, telemetry spans and all golden
+//! figures are bit-identical with the register engine on or off; the
+//! differential harness in `tests/properties.rs` and the conformance
+//! suite enforce this.
+//!
+//! Lowering is conservative: any method the structural pass cannot prove
+//! well-formed (inconsistent stack depths, unreachable underflow, out of
+//! range indices — possible only for `--no-verify` runs of hand-assembled
+//! programs) simply keeps executing on the stack interpreter, which is
+//! always semantically authoritative.
+
+mod exec;
+mod lower;
+
+pub(crate) use lower::lower;
+
+use std::sync::Arc;
+
+use vmprobe_bytecode::{ArrKind, ClassId, MathFn, MethodId, Op};
+
+use crate::Value;
+
+/// Register-engine state of one activation: the lowered body, the frame's
+/// register window (locals in `window[..n_locals]`, operand slots above),
+/// and the live operand depth while suspended at a call.
+#[derive(Debug, Clone)]
+pub(crate) struct RirFrame {
+    /// The method's lowered body (shared with the compiler subsystem).
+    pub body: Arc<RirBody>,
+    /// The register window, `body.n_regs` slots.
+    pub window: Vec<Value>,
+    /// Operand depth at the save point of the call this frame is
+    /// suspended at: the GC-root boundary (registers above it are dead),
+    /// and where a callee's return value lands. Meaningless while the
+    /// frame is executing.
+    pub live_sp: u16,
+}
+
+/// Integer ALU operation kind (shared semantics for both engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AluKind {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Division; division by zero yields 0.
+    Div,
+    /// Remainder; zero divisor yields 0.
+    Rem,
+    /// Shift left by `b & 63`.
+    Shl,
+    /// Arithmetic shift right by `b & 63`.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl AluKind {
+    /// The kind for a stack-bytecode integer ALU opcode.
+    pub(crate) fn from_op(op: Op) -> Option<Self> {
+        Some(match op {
+            Op::Add => AluKind::Add,
+            Op::Sub => AluKind::Sub,
+            Op::Mul => AluKind::Mul,
+            Op::Div => AluKind::Div,
+            Op::Rem => AluKind::Rem,
+            Op::Shl => AluKind::Shl,
+            Op::Shr => AluKind::Shr,
+            Op::And => AluKind::And,
+            Op::Or => AluKind::Or,
+            Op::Xor => AluKind::Xor,
+            _ => return None,
+        })
+    }
+}
+
+/// Float ALU operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FAluKind {
+    /// Float add.
+    Add,
+    /// Float subtract.
+    Sub,
+    /// Float multiply.
+    Mul,
+    /// Float divide; division by zero yields 0.0.
+    Div,
+}
+
+impl FAluKind {
+    /// The kind for a stack-bytecode float ALU opcode.
+    pub(crate) fn from_op(op: Op) -> Option<Self> {
+        Some(match op {
+            Op::FAdd => FAluKind::Add,
+            Op::FSub => FAluKind::Sub,
+            Op::FMul => FAluKind::Mul,
+            Op::FDiv => FAluKind::Div,
+            _ => return None,
+        })
+    }
+}
+
+/// Comparison kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpKind {
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+}
+
+impl CmpKind {
+    /// The kind for a stack-bytecode comparison opcode.
+    pub(crate) fn from_op(op: Op) -> Option<Self> {
+        Some(match op {
+            Op::Lt => CmpKind::Lt,
+            Op::Le => CmpKind::Le,
+            Op::Gt => CmpKind::Gt,
+            Op::Ge => CmpKind::Ge,
+            Op::Eq => CmpKind::Eq,
+            Op::Ne => CmpKind::Ne,
+            _ => return None,
+        })
+    }
+}
+
+/// Integer ALU semantics shared by the stack interpreter and the register
+/// engine — single source of truth so the two engines cannot drift.
+#[inline]
+pub(crate) fn int_alu(kind: AluKind, a: i64, b: i64) -> i64 {
+    match kind {
+        AluKind::Add => a.wrapping_add(b),
+        AluKind::Sub => a.wrapping_sub(b),
+        AluKind::Mul => a.wrapping_mul(b),
+        AluKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluKind::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluKind::Shl => a.wrapping_shl(b as u32 & 63),
+        AluKind::Shr => a.wrapping_shr(b as u32 & 63),
+        AluKind::And => a & b,
+        AluKind::Or => a | b,
+        AluKind::Xor => a ^ b,
+    }
+}
+
+/// Float ALU semantics shared by both engines.
+#[inline]
+pub(crate) fn f_alu(kind: FAluKind, a: f64, b: f64) -> f64 {
+    match kind {
+        FAluKind::Add => a + b,
+        FAluKind::Sub => a - b,
+        FAluKind::Mul => a * b,
+        FAluKind::Div => {
+            if b == 0.0 {
+                0.0
+            } else {
+                a / b
+            }
+        }
+    }
+}
+
+/// Comparison semantics shared by both engines: float contagion when
+/// either operand is a float, identity (plus handle-order `Lt`) for
+/// reference pairs, integer views otherwise.
+#[inline]
+pub(crate) fn compare(kind: CmpKind, a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::F(x), y) | (y, Value::F(x)) => {
+            let (x, y) = match (a, b) {
+                (Value::F(_), _) => (x, y.as_f()),
+                _ => (y.as_f(), x),
+            };
+            match kind {
+                CmpKind::Lt => x < y,
+                CmpKind::Le => x <= y,
+                CmpKind::Gt => x > y,
+                CmpKind::Ge => x >= y,
+                CmpKind::Eq => x == y,
+                CmpKind::Ne => x != y,
+            }
+        }
+        (Value::Ref(x), Value::Ref(y)) => match kind {
+            CmpKind::Eq => x == y,
+            CmpKind::Ne => x != y,
+            _ => x.0 < y.0 && matches!(kind, CmpKind::Lt),
+        },
+        _ => {
+            let (x, y) = (a.as_i(), b.as_i());
+            match kind {
+                CmpKind::Lt => x < y,
+                CmpKind::Le => x <= y,
+                CmpKind::Gt => x > y,
+                CmpKind::Ge => x >= y,
+                CmpKind::Eq => x == y,
+                CmpKind::Ne => x != y,
+            }
+        }
+    }
+}
+
+/// Math intrinsic semantics shared by both engines.
+#[inline]
+pub(crate) fn math_fn(f: MathFn, a: f64) -> f64 {
+    match f {
+        MathFn::Sqrt => a.abs().sqrt(),
+        MathFn::Sin => a.sin(),
+        MathFn::Cos => a.cos(),
+        MathFn::Log => a.abs().max(1e-300).ln(),
+        MathFn::Exp => a.min(700.0).exp(),
+    }
+}
+
+/// One fixed-width three-address instruction.
+///
+/// Register operands index the frame's window: registers `0..n_locals`
+/// are the method locals, register `n_locals + d` is the operand-stack
+/// slot at depth `d` (the verifier guarantees a single static depth per
+/// pc, so the mapping is total). The instruction stream is 1:1 with the
+/// source bytecode — instruction index *is* the bytecode pc — which keeps
+/// the ifetch cadence, branch targets and fault pcs trivially identical
+/// to the stack interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RirOp {
+    /// `window[dst] = pool_i[lit]`.
+    ConstI { dst: u16, lit: u16 },
+    /// `window[dst] = pool_f[lit]`.
+    ConstF { dst: u16, lit: u16 },
+    /// `window[dst] = null`.
+    ConstNull { dst: u16 },
+    /// Register move (lowered `Load`/`Store`/`Dup` — all charge one µop
+    /// at the optimizing tier).
+    Mov { dst: u16, src: u16 },
+    /// Discard-only (lowered `Pop`): charges the µop, moves nothing.
+    Drop,
+    /// Exchange two registers (lowered `Swap`).
+    Swap { a: u16, b: u16 },
+    /// Integer ALU: `window[dst] = a <kind> b`.
+    IntAlu {
+        kind: AluKind,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// Integer negate.
+    Neg { dst: u16, src: u16 },
+    /// Float ALU.
+    FAlu {
+        kind: FAluKind,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// Float negate.
+    FNeg { dst: u16, src: u16 },
+    /// Long-latency float intrinsic.
+    Math { f: MathFn, dst: u16, src: u16 },
+    /// Integer to float.
+    I2F { dst: u16, src: u16 },
+    /// Float to integer.
+    F2I { dst: u16, src: u16 },
+    /// Comparison producing 0/1.
+    Cmp {
+        kind: CmpKind,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// Null test producing 0/1.
+    IsNull { dst: u16, src: u16 },
+    /// Unconditional jump; `back_edge` pre-resolves `target <= pc` for
+    /// the hotness counter.
+    Jump { target: u32, back_edge: bool },
+    /// Conditional branch on `window[cond]`; `on_true` distinguishes
+    /// `BrTrue` from `BrFalse`.
+    Br {
+        cond: u16,
+        target: u32,
+        on_true: bool,
+        back_edge: bool,
+    },
+    /// Method call; `save_sp` is the operand depth after the arguments
+    /// are consumed (the suspended frame's live depth, and the depth the
+    /// return value lands at).
+    Call { m: MethodId, save_sp: u16 },
+    /// Return with no value.
+    Ret,
+    /// Return `window[src]`.
+    RetV { src: u16 },
+    /// Allocate an instance; `gc_sp` is the live operand depth while the
+    /// collector may run.
+    New {
+        class: ClassId,
+        dst: u16,
+        gc_sp: u16,
+    },
+    /// Allocate an array of length `window[len]`.
+    NewArr {
+        kind: ArrKind,
+        len: u16,
+        dst: u16,
+        gc_sp: u16,
+    },
+    /// `window[dst] = window[obj].field[fidx]`.
+    GetField { obj: u16, dst: u16, fidx: u16 },
+    /// `window[obj].field[fidx] = window[val]`.
+    PutField { obj: u16, val: u16, fidx: u16 },
+    /// `window[dst] = statics[slot]`.
+    GetStatic { dst: u16, slot: u16 },
+    /// `statics[slot] = window[src]`.
+    PutStatic { src: u16, slot: u16 },
+    /// `window[dst] = window[arr][window[idx]]`.
+    ALoad { arr: u16, idx: u16, dst: u16 },
+    /// `window[arr][window[idx]] = window[val]`.
+    AStore { arr: u16, idx: u16, val: u16 },
+    /// `window[dst] = len(window[arr])`.
+    ArrLen { arr: u16, dst: u16 },
+    /// No operation (also the placeholder for unreachable bytecode).
+    Nop,
+}
+
+/// A lowered method body: the register instruction stream plus its
+/// load-time-resolved literal pools and window shape.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RirBody {
+    /// Fixed-width instruction stream, 1:1 with the source bytecode.
+    pub ops: Vec<RirOp>,
+    /// Local slots (registers `0..n_locals`).
+    pub n_locals: u16,
+    /// Total window size: locals plus the method's maximum operand depth.
+    pub n_regs: u16,
+    /// Integer literal pool (deduplicated at lowering time).
+    pub pool_i: Vec<i64>,
+    /// Float literal pool (deduplicated by bit pattern, so NaN payloads
+    /// survive the round trip).
+    pub pool_f: Vec<f64>,
+}
+
+/// Recycled register windows: frames borrow a `Vec<Value>` here instead
+/// of allocating one per activation, keeping the engine's allocation
+/// profile flat no matter how call-heavy the workload is.
+#[derive(Debug, Default)]
+pub(crate) struct WindowPool {
+    free: Vec<Vec<Value>>,
+}
+
+/// Windows kept for reuse; beyond this the pool lets them drop. Deeper
+/// recursion still works — release simply frees instead of caching.
+const POOL_CAP: usize = 64;
+
+impl WindowPool {
+    /// A window of `n` registers, all reset to the default value (the
+    /// same state a fresh stack frame's locals start in — recycled
+    /// windows must not leak stale references into GC root scans).
+    pub(crate) fn acquire(&mut self, n: usize) -> Vec<Value> {
+        let mut w = self.free.pop().unwrap_or_default();
+        w.clear();
+        w.resize(n, Value::default());
+        w
+    }
+
+    /// Return a window to the pool.
+    pub(crate) fn release(&mut self, w: Vec<Value>) {
+        if self.free.len() < POOL_CAP {
+            self.free.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics_match_interpreter_edge_cases() {
+        assert_eq!(int_alu(AluKind::Div, 7, 0), 0);
+        assert_eq!(int_alu(AluKind::Rem, 7, 0), 0);
+        assert_eq!(int_alu(AluKind::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(int_alu(AluKind::Shl, 1, 65), 2); // shift masked to 63
+        assert_eq!(f_alu(FAluKind::Div, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn compare_mixes_floats_like_the_interpreter() {
+        assert!(compare(CmpKind::Lt, Value::I(1), Value::F(1.5)));
+        assert!(compare(CmpKind::Gt, Value::F(1.5), Value::I(1)));
+        assert!(compare(CmpKind::Eq, Value::Null, Value::I(0)));
+        assert!(!compare(
+            CmpKind::Lt,
+            Value::Ref(vmprobe_heap::ObjId(5)),
+            Value::Ref(vmprobe_heap::ObjId(3))
+        ));
+        assert!(compare(
+            CmpKind::Ne,
+            Value::Ref(vmprobe_heap::ObjId(5)),
+            Value::Ref(vmprobe_heap::ObjId(3))
+        ));
+    }
+
+    #[test]
+    fn window_pool_recycles_and_resets() {
+        let mut pool = WindowPool::default();
+        let mut w = pool.acquire(4);
+        w[2] = Value::F(9.0);
+        let ptr = w.as_ptr() as usize;
+        pool.release(w);
+        let w2 = pool.acquire(3);
+        assert_eq!(w2.as_ptr() as usize, ptr, "allocation reused");
+        assert!(w2.iter().all(|v| *v == Value::default()), "window reset");
+    }
+
+    #[test]
+    fn kind_conversions_cover_their_op_families() {
+        for op in [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Shl,
+            Op::Shr,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+        ] {
+            assert!(AluKind::from_op(op).is_some());
+        }
+        assert!(AluKind::from_op(Op::FAdd).is_none());
+        for op in [Op::FAdd, Op::FSub, Op::FMul, Op::FDiv] {
+            assert!(FAluKind::from_op(op).is_some());
+        }
+        for op in [Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Eq, Op::Ne] {
+            assert!(CmpKind::from_op(op).is_some());
+        }
+    }
+}

@@ -10,6 +10,7 @@ use vmprobe_heap::{
 use vmprobe_platform::{Exec, STACK_BASE, VM_BASE};
 use vmprobe_power::{analyze, ComponentId, PowerSample, Report, Seconds};
 
+use crate::rir::{RirFrame, WindowPool};
 use crate::{
     ClassLoader, CompilerStats, CompilerSubsystem, Controller, Meter, Personality, Tier, Value,
     VmConfig, VmError, VmStats,
@@ -18,22 +19,61 @@ use crate::{
 /// Bytes of simulated stack frame per call depth.
 const FRAME_STRIDE: u64 = 512;
 /// Statics live at the start of the VM data region.
-const STATICS_BASE: u64 = VM_BASE;
+pub(crate) const STATICS_BASE: u64 = VM_BASE;
 /// Controller activates every this many scheduler quanta (Jikes).
 const CONTROLLER_PERIOD_QUANTA: u64 = 4;
 /// Check the incremental collector's trigger every this many allocations.
 const INCREMENT_CHECK_MASK: u64 = 63;
 
 /// One activation record.
+///
+/// A frame runs on exactly one engine for its whole activation: `rir` is
+/// `Some` for frames created at [`Tier::Opt`] with a lowered register
+/// body (locals and operand stack live in `rir.window`; the `locals` and
+/// `stack` vectors stay empty), `None` for stack-interpreter frames. The
+/// engine choice — like `tier` and `code_addr` — is snapshotted at
+/// invocation: there is no on-stack replacement.
 #[derive(Debug, Clone)]
-struct Frame {
-    method: MethodId,
-    pc: u32,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
-    stack_addr: u64,
-    tier: Tier,
-    code_addr: u64,
+pub(crate) struct Frame {
+    pub(crate) method: MethodId,
+    pub(crate) pc: u32,
+    pub(crate) locals: Vec<Value>,
+    pub(crate) stack: Vec<Value>,
+    pub(crate) stack_addr: u64,
+    pub(crate) tier: Tier,
+    pub(crate) code_addr: u64,
+    pub(crate) rir: Option<RirFrame>,
+}
+
+impl Frame {
+    /// The GC-live value slices of this frame: `(locals, operand stack)`.
+    ///
+    /// For a suspended register frame the operand portion is bounded by
+    /// `live_sp` — registers above the call's save point hold dead values
+    /// the stack engine would already have popped, and must not become
+    /// roots (nor ambiguous words under conservative scanning).
+    fn live_slices(&self) -> (&[Value], &[Value]) {
+        match &self.rir {
+            Some(rf) => {
+                let l = rf.body.n_locals as usize;
+                (&rf.window[..l], &rf.window[l..l + rf.live_sp as usize])
+            }
+            None => (&self.locals, &self.stack),
+        }
+    }
+
+    /// Deliver a callee's return value into this (suspended) frame: the
+    /// operand push for a stack frame, a write to the register just above
+    /// the call's save point for a register frame.
+    pub(crate) fn push_return(&mut self, v: Value) {
+        match &mut self.rir {
+            Some(rf) => {
+                let idx = rf.body.n_locals as usize + rf.live_sp as usize;
+                rf.window[idx] = v;
+            }
+            None => self.stack.push(v),
+        }
+    }
 }
 
 /// Everything a finished run yields: the measurement report plus runtime
@@ -63,6 +103,12 @@ pub struct RunOutcome {
     /// [`VmConfig::record_spans`] was set (deterministic: a pure function
     /// of the configuration, like every other field here).
     pub spans: Option<vmprobe_telemetry::SpanTrace>,
+    /// Bytecodes executed on the register engine (a subset of
+    /// `vm.bytecodes`). A host-side engine counter, deliberately outside
+    /// [`VmStats`]: it reports which engine did the work, never changes
+    /// what was computed or charged, and is zero with
+    /// [`VmConfig::rir`] off.
+    pub rir_bytecodes: u64,
 }
 
 /// A configured virtual machine ready to execute one program.
@@ -93,24 +139,28 @@ pub struct RunOutcome {
 /// # }
 /// ```
 pub struct Vm {
-    program: Arc<Program>,
+    pub(crate) program: Arc<Program>,
     config: VmConfig,
-    meter: Meter,
-    heap: ObjectHeap,
-    plan: Box<dyn CollectorPlan>,
-    loader: ClassLoader,
-    compilers: CompilerSubsystem,
+    pub(crate) meter: Meter,
+    pub(crate) heap: ObjectHeap,
+    pub(crate) plan: Box<dyn CollectorPlan>,
+    pub(crate) loader: ClassLoader,
+    pub(crate) compilers: CompilerSubsystem,
     controller: Controller,
-    statics: Vec<Value>,
-    frames: Vec<Frame>,
-    stats: VmStats,
-    next_quantum: u64,
+    pub(crate) statics: Vec<Value>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) stats: VmStats,
+    pub(crate) next_quantum: u64,
     /// Bytecode count at which the run aborts (`u64::MAX` when no budget).
-    step_budget: u64,
+    pub(crate) step_budget: u64,
     /// Allocation count at which heap exhaustion is forced (`u64::MAX`
     /// when no injection).
     fail_alloc_at: u64,
-    result: Option<Value>,
+    pub(crate) result: Option<Value>,
+    /// Recycled register windows for [`Tier::Opt`] frames.
+    pub(crate) windows: WindowPool,
+    /// Bytecodes executed on the register engine.
+    pub(crate) rir_bytecodes: u64,
 }
 
 impl std::fmt::Debug for Vm {
@@ -177,6 +227,8 @@ impl Vm {
             step_budget: config.faults.step_budget.unwrap_or(u64::MAX),
             fail_alloc_at: config.faults.fail_alloc_at.unwrap_or(u64::MAX),
             result: None,
+            windows: WindowPool::default(),
+            rir_bytecodes: 0,
         })
     }
 
@@ -237,12 +289,26 @@ impl Vm {
             live_bytes_end,
             total_alloc_bytes,
             spans,
+            rir_bytecodes: self.rir_bytecodes,
         })
     }
 
-    /// Execute the top frame until it calls, returns, or faults.
+    /// Execute the top frame until it calls, returns, or faults,
+    /// dispatching to the engine the frame was created on.
     fn step(&mut self) -> Result<(), VmError> {
-        let mut frame = self.frames.pop().expect("step with no frames");
+        let frame = self.frames.pop().expect("step with no frames");
+        if frame.rir.is_some() {
+            self.step_rir(frame)
+        } else {
+            self.step_stack(frame)
+        }
+    }
+
+    /// The stack-bytecode interpreter: executes `frame` until it calls,
+    /// returns, or faults. Semantically authoritative for every tier; the
+    /// register engine in `rir::exec` must replay its exact meter-call
+    /// sequence for [`Tier::Opt`] frames.
+    fn step_stack(&mut self, mut frame: Frame) -> Result<(), VmError> {
         let program = Arc::clone(&self.program);
         let method = program.method(frame.method);
         let code = method.code();
@@ -498,7 +564,7 @@ impl Vm {
                     self.meter.int_ops(3);
                     let v = frame.stack.pop().expect("verified");
                     match self.frames.last_mut() {
-                        Some(caller) => caller.stack.push(v),
+                        Some(caller) => caller.push_return(v),
                         None => self.result = Some(v),
                     }
                     return Ok(());
@@ -511,20 +577,31 @@ impl Vm {
                     }
                     let rt = self.loader.class(c);
                     let req = AllocRequest::instance(c.0, rt.ref_slots(), rt.prim_slots());
-                    match self.alloc(req, &frame) {
+                    match self.alloc(req, &frame.locals, &frame.stack) {
                         Ok(id) => frame.stack.push(Value::Ref(id)),
                         Err(e) => fault!(e),
                     }
                 }
                 Op::NewArr(kind) => {
                     self.meter.int_ops(2);
-                    let len = frame.stack.pop().expect("verified").as_i().max(0) as u32;
+                    let len = frame.stack.pop().expect("verified").as_i();
+                    if len < 0 {
+                        // The verifier cannot prove non-negativity (it
+                        // tracks types, not ranges), so this is a runtime
+                        // fault like its neighbors — not a silent clamp.
+                        fault!(VmError::NegativeArrayLength {
+                            method: frame.method,
+                            pc: pc as u32,
+                            len,
+                        });
+                    }
+                    let len = len as u32;
                     let req = match kind {
                         ArrKind::Int => AllocRequest::int_array(len),
                         ArrKind::Float => AllocRequest::float_array(len),
                         ArrKind::Ref => AllocRequest::ref_array(len),
                     };
-                    match self.alloc(req, &frame) {
+                    match self.alloc(req, &frame.locals, &frame.stack) {
                         Ok(id) => frame.stack.push(Value::Ref(id)),
                         Err(e) => fault!(e),
                     }
@@ -705,7 +782,7 @@ impl Vm {
     }
 
     /// Call `m`: load its class, compile on first invocation, push a frame.
-    fn invoke(&mut self, m: MethodId) -> Result<(), VmError> {
+    pub(crate) fn invoke(&mut self, m: MethodId) -> Result<(), VmError> {
         if self.frames.len() >= self.config.max_frames {
             return Err(VmError::StackOverflow {
                 limit: self.config.max_frames,
@@ -735,10 +812,46 @@ impl Vm {
         self.stats.calls += 1;
 
         let n_args = method.n_args() as usize;
-        let mut locals = vec![Value::default(); method.n_locals() as usize];
-        if let Some(caller) = self.frames.last_mut() {
-            for i in (0..n_args).rev() {
-                locals[i] = caller.stack.pop().expect("verified arg count");
+        // Engine selection is per-activation, snapshotted here: only
+        // methods already at Tier::Opt with a lowered body get a register
+        // frame. Promotion during the activation changes nothing (no OSR),
+        // identically to how `tier`/`code_addr` behave.
+        let rt = *self.compilers.method(m);
+        let mut rir = if self.config.rir && rt.tier == Tier::Opt {
+            self.compilers.rir_body(m).map(|body| {
+                let window = self.windows.acquire(body.n_regs as usize);
+                RirFrame {
+                    body,
+                    window,
+                    live_sp: 0,
+                }
+            })
+        } else {
+            None
+        };
+        let mut locals = match rir {
+            Some(_) => Vec::new(),
+            None => vec![Value::default(); method.n_locals() as usize],
+        };
+        {
+            // Transfer arguments into the callee's slots 0..n_args — the
+            // register window doubles as the locals array.
+            let dst: &mut [Value] = match rir.as_mut() {
+                Some(rf) => &mut rf.window,
+                None => &mut locals,
+            };
+            if let Some(caller) = self.frames.last_mut() {
+                match &mut caller.rir {
+                    Some(crf) => {
+                        let base = crf.body.n_locals as usize + crf.live_sp as usize;
+                        dst[..n_args].copy_from_slice(&crf.window[base..base + n_args]);
+                    }
+                    None => {
+                        for i in (0..n_args).rev() {
+                            dst[i] = caller.stack.pop().expect("verified arg count");
+                        }
+                    }
+                }
             }
         }
         let depth = self.frames.len() as u64;
@@ -746,22 +859,37 @@ impl Vm {
         for i in 0..n_args as u64 {
             self.meter.store(stack_addr + i * 8);
         }
-        let rt = self.compilers.method(m);
+        let stack = if rir.is_some() {
+            Vec::new()
+        } else {
+            Vec::with_capacity(8)
+        };
         self.frames.push(Frame {
             method: m,
             pc: 0,
             locals,
-            stack: Vec::with_capacity(8),
+            stack,
             stack_addr,
             tier: rt.tier,
             code_addr: rt.code_addr,
+            rir,
         });
         self.stats.max_stack_depth = self.stats.max_stack_depth.max(self.frames.len() as u64);
         Ok(())
     }
 
     /// Allocate, collecting (and retrying) on exhaustion.
-    fn alloc(&mut self, req: AllocRequest, current: &Frame) -> Result<ObjId, VmError> {
+    ///
+    /// `cur_locals`/`cur_stack` are the in-flight frame's live slices
+    /// (the run loop pops the executing frame, so it is not in
+    /// `self.frames`): the locals and operand-stack vectors for a stack
+    /// frame, the corresponding window slices for a register frame.
+    pub(crate) fn alloc(
+        &mut self,
+        req: AllocRequest,
+        cur_locals: &[Value],
+        cur_stack: &[Value],
+    ) -> Result<ObjId, VmError> {
         self.stats.allocations += 1;
         if self.stats.allocations >= self.fail_alloc_at {
             return Err(VmError::InjectedOom {
@@ -771,7 +899,7 @@ impl Vm {
 
         // Kaffe-style incremental marking at allocation sites.
         if self.stats.allocations & INCREMENT_CHECK_MASK == 0 && self.plan.wants_increment() {
-            let roots = self.collect_roots(current);
+            let roots = self.collect_roots(cur_locals, cur_stack);
             self.meter.enter(ComponentId::Gc);
             self.plan.increment(&mut self.heap, &roots, &mut self.meter);
             self.meter.exit();
@@ -782,7 +910,7 @@ impl Vm {
             match self.plan.alloc(&mut self.heap, req, &mut self.meter) {
                 Ok(id) => return Ok(id),
                 Err(_) if attempt < 2 => {
-                    let roots = self.collect_roots(current);
+                    let roots = self.collect_roots(cur_locals, cur_stack);
                     self.meter.enter(ComponentId::Gc);
                     self.plan.collect(&mut self.heap, &roots, &mut self.meter);
                     self.meter.exit();
@@ -798,9 +926,9 @@ impl Vm {
     }
 
     /// Enumerate roots: statics plus every frame (including the in-flight
-    /// one), with raw integers passed as ambiguous words for conservative
-    /// plans.
-    fn collect_roots(&self, current: &Frame) -> RootSet {
+    /// one, passed as its live slices), with raw integers passed as
+    /// ambiguous words for conservative plans.
+    fn collect_roots(&self, cur_locals: &[Value], cur_stack: &[Value]) -> RootSet {
         let conservative = self.config.collector == CollectorKind::KaffeIncremental;
         let mut roots = RootSet::new();
         fn scan(roots: &mut RootSet, conservative: bool, vals: &[Value]) {
@@ -818,17 +946,18 @@ impl Vm {
             }
         }
         for f in &self.frames {
-            scan(&mut roots, conservative, &f.locals);
-            scan(&mut roots, conservative, &f.stack);
+            let (locals, stack) = f.live_slices();
+            scan(&mut roots, conservative, locals);
+            scan(&mut roots, conservative, stack);
         }
-        scan(&mut roots, conservative, &current.locals);
-        scan(&mut roots, conservative, &current.stack);
+        scan(&mut roots, conservative, cur_locals);
+        scan(&mut roots, conservative, cur_stack);
         roots
     }
 
     /// Scheduler quantum: timer tick, controller activation, one optimizing
     /// compilation if queued.
-    fn quantum(&mut self) {
+    pub(crate) fn quantum(&mut self) {
         self.next_quantum = self.meter.cycles() + self.config.quantum_cycles;
         self.stats.quanta += 1;
 

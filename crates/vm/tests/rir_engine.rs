@@ -1,0 +1,229 @@
+//! Register-engine (`rir`) behaviour: bit-identity with the stack
+//! interpreter, tier snapshotting (no OSR), call-boundary interop across
+//! engines, and the negative-array-length fault the lowering work uncovered.
+
+use vmprobe_bytecode::{assemble, ArrKind, MathFn, Program, ProgramBuilder};
+use vmprobe_faults::FaultPlan;
+use vmprobe_heap::CollectorKind;
+use vmprobe_vm::{RunOutcome, Value, Vm, VmConfig, VmError};
+
+/// Assert everything in a [`RunOutcome`] that the differential harness
+/// promises is engine-independent.
+fn assert_bit_identical(reg: &RunOutcome, stack: &RunOutcome) {
+    assert_eq!(reg.report, stack.report, "energy report diverged");
+    assert_eq!(reg.gc, stack.gc, "GC stats diverged");
+    assert_eq!(reg.vm, stack.vm, "VM stats diverged");
+    assert_eq!(reg.compiler, stack.compiler, "compiler stats diverged");
+    assert_eq!(reg.duration, stack.duration, "virtual duration diverged");
+    assert_eq!(reg.result, stack.result, "program result diverged");
+    assert_eq!(reg.live_bytes_end, stack.live_bytes_end);
+    assert_eq!(reg.total_alloc_bytes, stack.total_alloc_bytes);
+}
+
+/// A hot leaf kernel invoked enough times for the Jikes controller to
+/// promote it to `Tier::Opt` well before the run ends.
+fn hot_kernel_program(iters: i64) -> Program {
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("Hot").build();
+    let kernel = p.method(cls, "kernel", 1, 1, |b| {
+        b.load(0);
+        b.for_range(1, 0, 40, |b| {
+            b.const_i(3).add();
+        });
+        b.ret_value();
+    });
+    let main = p.method(cls, "main", 0, 2, |b| {
+        b.const_i(0).store(0);
+        b.for_range(1, 0, iters, |b| {
+            b.load(0).call(kernel).store(0);
+        });
+        b.load(0).ret_value();
+    });
+    p.finish(main).unwrap()
+}
+
+#[test]
+fn promoted_methods_run_on_the_register_engine_bit_identically() {
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).opt_threshold(2_000);
+    let reg = Vm::new(hot_kernel_program(30_000), cfg).run().unwrap();
+    let stack = Vm::new(hot_kernel_program(30_000), cfg.rir(false))
+        .run()
+        .unwrap();
+    assert!(
+        reg.compiler.opt_compiles >= 1,
+        "kernel should get promoted: {:?}",
+        reg.compiler
+    );
+    assert!(
+        reg.rir_bytecodes > 0,
+        "promoted kernel should execute on the register engine"
+    );
+    assert_eq!(stack.rir_bytecodes, 0, "rir(false) must stay on the stack");
+    assert_bit_identical(&reg, &stack);
+}
+
+#[test]
+fn promotion_mid_activation_keeps_the_old_tier() {
+    // `main` is entered once and never re-invoked. Its back-edge counter
+    // promotes it mid-activation, so an opt compile happens — but with no
+    // on-stack replacement the activation keeps the baseline stack frame,
+    // and the register engine never runs. This pins the modeled lack of
+    // OSR documented on `Tier::dispatch_ops`.
+    let mut p = ProgramBuilder::new();
+    let cls = p.class("Mono").build();
+    let main = p.method(cls, "main", 0, 2, |b| {
+        b.const_i(0).store(0);
+        b.for_range(1, 0, 300_000, |b| {
+            b.load(0).const_i(1).add().store(0);
+        });
+        b.load(0).ret_value();
+    });
+    let program = p.finish(main).unwrap();
+    let mut cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).opt_threshold(1);
+    // Shrink the quantum so the controller gets several scans inside the
+    // one long-running activation.
+    cfg.quantum_cycles = 100_000;
+    let out = Vm::new(program, cfg).run().unwrap();
+    assert!(
+        out.compiler.opt_compiles >= 1,
+        "the single hot activation should still trigger an opt compile"
+    );
+    assert_eq!(
+        out.rir_bytecodes, 0,
+        "no re-invocation at Tier::Opt means no register-engine execution"
+    );
+    assert_eq!(out.result, Some(Value::I(300_000)));
+}
+
+#[test]
+fn mixed_engine_call_boundaries_are_bit_identical() {
+    // main -> kernel -> leaf, all hot. Promotion is staggered (the opt
+    // queue retires one method per quantum), so the run crosses every
+    // caller/callee engine combination: stack->stack before promotion,
+    // stack->reg once `kernel` is Opt, reg->stack while `leaf` lags one
+    // quantum behind, and reg->reg at steady state. The kernel also
+    // allocates, so GC scans live register windows mid-flight.
+    let build = || {
+        let mut p = ProgramBuilder::new();
+        let cls = p.class("Mix").field("v", vmprobe_bytecode::Ty::Int).build();
+        let leaf = p.method(cls, "leaf", 1, 0, |b| {
+            b.load(0)
+                .const_i(7)
+                .mul()
+                .i2f()
+                .math(MathFn::Sqrt)
+                .f2i()
+                .ret_value();
+        });
+        let kernel = p.method(cls, "kernel", 1, 1, |b| {
+            // A short-lived object per call keeps the allocator busy.
+            b.new_obj(cls).dup();
+            b.load(0).put_field(0);
+            b.get_field(0).call(leaf);
+            b.load(0).add().ret_value();
+        });
+        let main = p.method(cls, "main", 0, 2, |b| {
+            b.const_i(0).store(0);
+            b.for_range(1, 0, 40_000, |b| {
+                b.load(0).call(kernel).store(0);
+            });
+            b.load(0).ret_value();
+        });
+        p.finish(main).unwrap()
+    };
+    let mut cfg = VmConfig::jikes(CollectorKind::GenCopy, 256 << 10).opt_threshold(2_000);
+    // A short quantum staggers the promotions across many scheduler
+    // slices, maximizing the time spent in mixed-engine configurations.
+    cfg.quantum_cycles = 100_000;
+    let reg = Vm::new(build(), cfg).run().unwrap();
+    let stack = Vm::new(build(), cfg.rir(false)).run().unwrap();
+    assert!(reg.compiler.opt_compiles >= 2, "{:?}", reg.compiler);
+    assert!(reg.rir_bytecodes > 0);
+    assert!(reg.gc.minor_collections > 0, "heap should cycle under load");
+    assert_bit_identical(&reg, &stack);
+}
+
+#[test]
+fn register_engine_is_identical_under_measurement_and_vm_faults() {
+    for spec in ["drop=0.05,dup=0.02,noise=0.01,seed=7", "budget=200000"] {
+        let faults = FaultPlan::parse(spec).unwrap();
+        let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20)
+            .opt_threshold(2_000)
+            .faults(faults);
+        let reg = Vm::new(hot_kernel_program(30_000), cfg).run();
+        let stack = Vm::new(hot_kernel_program(30_000), cfg.rir(false)).run();
+        match (reg, stack) {
+            (Ok(r), Ok(s)) => assert_bit_identical(&r, &s),
+            (Err(r), Err(s)) => assert_eq!(r, s, "fault {spec} diverged"),
+            (r, s) => panic!("engines disagree on outcome kind under {spec}: {r:?} vs {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn kaffe_never_uses_the_register_engine() {
+    // Kaffe has no optimizing tier, so even with `rir: true` (the
+    // default) every frame stays on the stack interpreter.
+    let out = Vm::new(hot_kernel_program(5_000), VmConfig::kaffe(1 << 20))
+        .run()
+        .unwrap();
+    assert!(out.compiler.jit_compiles > 0);
+    assert_eq!(out.rir_bytecodes, 0);
+}
+
+#[test]
+fn negative_array_length_is_a_typed_fault_not_a_clamp() {
+    // Regression: `new_arr` used to clamp a negative length to zero and
+    // carry on. The verifier tracks types, not value ranges, so this
+    // program loads fine and must fault at run time with the offending
+    // pc and length.
+    let program = assemble(
+        "
+        .method main 0 1 ret
+            const_i -4
+            new_arr int
+            ret_value
+        ",
+    )
+    .unwrap();
+    let err = Vm::new(program, VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20))
+        .run()
+        .unwrap_err();
+    match err {
+        VmError::NegativeArrayLength { pc, len, .. } => {
+            assert_eq!(pc, 1, "fault pc is the new_arr instruction");
+            assert_eq!(len, -4, "the unclamped length is reported");
+        }
+        other => panic!("expected NegativeArrayLength, got {other}"),
+    }
+}
+
+#[test]
+fn negative_array_length_faults_identically_on_both_engines() {
+    // The hot kernel allocates arrays from its argument; after promotion
+    // the final iteration passes a negative length. Both engines must
+    // raise the same typed fault at the same pc.
+    let build = || {
+        let mut p = ProgramBuilder::new();
+        let cls = p.class("Arr").build();
+        let kernel = p.method(cls, "kernel", 1, 0, |b| {
+            b.load(0).new_arr(ArrKind::Int).arr_len().ret_value();
+        });
+        let main = p.method(cls, "main", 0, 2, |b| {
+            b.const_i(0).store(0);
+            b.for_range(1, 0, 30_000, |b| {
+                b.const_i(3).call(kernel).store(0);
+            });
+            b.const_i(-4).call(kernel).ret_value();
+        });
+        p.finish(main).unwrap()
+    };
+    let cfg = VmConfig::jikes(CollectorKind::SemiSpace, 1 << 20).opt_threshold(2_000);
+    let reg_err = Vm::new(build(), cfg).run().unwrap_err();
+    let stack_err = Vm::new(build(), cfg.rir(false)).run().unwrap_err();
+    assert_eq!(reg_err, stack_err);
+    assert!(
+        matches!(reg_err, VmError::NegativeArrayLength { len: -4, .. }),
+        "got {reg_err}"
+    );
+}

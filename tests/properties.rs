@@ -200,6 +200,61 @@ fn run_script(kind: CollectorKind, ops: &[GraphOp]) -> Vec<usize> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    /// Differential execution: the register engine must be a pure host-side
+    /// optimization. For arbitrary programs, collectors and fault plans,
+    /// every simulated observable — meter-derived report, GC/VM/compiler
+    /// stats, fault-stream consumption, telemetry spans, result — is
+    /// bit-identical between the stack interpreter and the register engine.
+    #[test]
+    fn register_engine_is_bit_identical_to_stack_interpreter(
+        bp in arb_blueprint(),
+        k in arb_collector(),
+        fault_seed in 0usize..3,
+    ) {
+        let specs = ["", "drop=0.1,dup=0.02,seed=11", "budget=400000"];
+        let mk = |rir: bool| {
+            let program = build_program(&bp, InputScale::Reduced);
+            let mut cfg = match k {
+                CollectorKind::KaffeIncremental => VmConfig::kaffe(1 << 20),
+                // Aggressive promotion (low threshold, tiny quantum so the
+                // controller scans often) so even reduced-scale random
+                // programs reach Tier::Opt and the register engine inside
+                // one run.
+                k => VmConfig::jikes(k, 1 << 20).opt_threshold(50),
+            };
+            cfg = cfg.record_spans(true);
+            cfg.quantum_cycles = 5_000;
+            if !specs[fault_seed].is_empty() {
+                cfg = cfg.faults(vmprobe::FaultPlan::parse(specs[fault_seed]).unwrap());
+            }
+            Vm::new(program, cfg.rir(rir)).run()
+        };
+        match (mk(true), mk(false)) {
+            (Ok(reg), Ok(stack)) => {
+                prop_assert_eq!(reg.report, stack.report);
+                prop_assert_eq!(reg.gc, stack.gc);
+                prop_assert_eq!(reg.vm, stack.vm);
+                prop_assert_eq!(reg.compiler, stack.compiler);
+                prop_assert_eq!(reg.duration, stack.duration);
+                prop_assert_eq!(reg.result, stack.result);
+                prop_assert_eq!(reg.live_bytes_end, stack.live_bytes_end);
+                prop_assert_eq!(reg.total_alloc_bytes, stack.total_alloc_bytes);
+                prop_assert_eq!(reg.spans, stack.spans);
+                prop_assert_eq!(stack.rir_bytecodes, 0);
+            }
+            (Err(reg), Err(stack)) => prop_assert_eq!(reg, stack),
+            (reg, stack) => {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "engines disagree on outcome kind: {reg:?} vs {stack:?}"
+                )));
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
